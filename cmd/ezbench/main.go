@@ -1,0 +1,78 @@
+// Command ezbench regenerates every table and figure of the paper's
+// evaluation in one run and prints each as a report: Figure 1, Table 1,
+// Figure 4 + Table 2, Scenario 1 (Figures 6-8), Scenario 2 (Figures 10-11 +
+// Table 3), and the §6 Theorem 1 random-walk analysis.
+//
+// Usage:
+//
+//	ezbench                    # all experiments at 1/4 paper durations
+//	ezbench -scale 1           # full paper durations (slow)
+//	ezbench -exp fig1,table1   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ezflow/internal/exp"
+)
+
+var experiments = []struct {
+	name string
+	run  func(exp.Options) *exp.Report
+}{
+	{"fig1", func(o exp.Options) *exp.Report { return &exp.Fig1(o).Report }},
+	{"table1", func(o exp.Options) *exp.Report { return &exp.Table1(o).Report }},
+	{"fig4", func(o exp.Options) *exp.Report { return &exp.Fig4Table2(o).Report }},
+	{"scenario1", func(o exp.Options) *exp.Report { return &exp.Scenario1(o).Report }},
+	{"scenario2", func(o exp.Options) *exp.Report { return &exp.Scenario2(o).Report }},
+	{"theorem1", func(o exp.Options) *exp.Report { return &exp.Theorem1(o).Report }},
+	{"hopsweep", func(o exp.Options) *exp.Report { return &exp.HopSweep(o).Report }},
+	{"tree", func(o exp.Options) *exp.Report { return &exp.TreeDownlink(o, 3, 2).Report }},
+	{"rtscts", func(o exp.Options) *exp.Report { return &exp.RTSCTS(o).Report }},
+	{"bidir", func(o exp.Options) *exp.Report { return &exp.Bidirectional(o).Report }},
+}
+
+// aliases lets users name experiments by the figure/table they regenerate.
+var aliases = map[string]string{
+	"table2": "fig4", "fig6": "scenario1", "fig7": "scenario1",
+	"fig8": "scenario1", "fig10": "scenario2", "fig11": "scenario2",
+	"table3": "scenario2", "fig12": "theorem1", "table4": "theorem1",
+}
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
+		which = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1 or figure/table aliases)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *which != "" {
+		for _, w := range strings.Split(*which, ",") {
+			w = strings.TrimSpace(strings.ToLower(w))
+			if a, ok := aliases[w]; ok {
+				w = a
+			}
+			want[w] = true
+		}
+	}
+
+	o := exp.Options{Seed: *seed, Scale: *scale}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Print(e.run(o).String())
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ezbench: no experiment matched %q\n", *which)
+		os.Exit(1)
+	}
+}

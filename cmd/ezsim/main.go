@@ -1,0 +1,213 @@
+// Command ezsim runs one mesh scenario and prints per-flow statistics plus
+// optional CSV traces (queue occupancy, throughput, delay, contention
+// windows) for plotting.
+//
+// Usage:
+//
+//	ezsim -topology chain -hops 4 -mode ezflow -duration 600 -seed 1
+//	ezsim -topology scenario1 -mode 802.11 -trace-dir /tmp/traces
+//	ezsim -topology testbed -mode ezflow -cap 1024
+//
+// Topologies: chain (with -hops), testbed, scenario1, scenario2, tree.
+// Modes: 802.11, ezflow, penalty, diffq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ezflow"
+	"ezflow/internal/plot"
+	"ezflow/internal/stats"
+	"ezflow/internal/trace"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2")
+		hops     = flag.Int("hops", 4, "number of hops for the chain topology")
+		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
+		duration = flag.Float64("duration", 600, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		rate     = flag.Float64("rate", 2e6, "per-flow CBR rate in bit/s")
+		cap      = flag.Int("cap", 0, "hardware CWmin cap (0 = none; 1024 reproduces the testbed)")
+		penaltyQ = flag.Float64("q", 1.0/128, "penalty factor for -mode penalty")
+		traceDir = flag.String("trace-dir", "", "write CSV traces into this directory")
+		doPlot   = flag.Bool("plot", false, "render ASCII charts of queues, throughput and cw")
+	)
+	flag.Parse()
+
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = ezflow.Time(*duration * float64(ezflow.Second))
+	cfg.MAC.HardwareCWCap = *cap
+	cfg.PenaltyQ = *penaltyQ
+	switch *mode {
+	case "802.11":
+		cfg.Mode = ezflow.Mode80211
+	case "ezflow":
+		cfg.Mode = ezflow.ModeEZFlow
+	case "penalty":
+		cfg.Mode = ezflow.ModePenalty
+	case "diffq":
+		cfg.Mode = ezflow.ModeDiffQ
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	var sc *ezflow.Scenario
+	switch *topology {
+	case "chain":
+		sc = ezflow.NewChain(*hops, cfg, ezflow.FlowSpec{Flow: 1, RateBps: *rate})
+	case "testbed":
+		sc = ezflow.NewTestbed(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: *rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: *rate})
+	case "scenario1":
+		sc = ezflow.NewScenario1(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: *rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: *rate})
+	case "scenario2":
+		sc = ezflow.NewScenario2(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: *rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: *rate},
+			ezflow.FlowSpec{Flow: 3, RateBps: *rate})
+	case "tree":
+		sc = ezflow.NewTree(3, 2, cfg)
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+
+	res := sc.Run()
+	printSummary(res)
+	if *doPlot {
+		printPlots(res)
+	}
+	if *traceDir != "" {
+		if err := writeTraces(res, *traceDir); err != nil {
+			fatalf("writing traces: %v", err)
+		}
+		fmt.Printf("traces written to %s\n", *traceDir)
+	}
+}
+
+func printSummary(res *ezflow.Result) {
+	fmt.Printf("mode=%v duration=%v seed=%d\n", res.Cfg.Mode,
+		res.Cfg.Duration, res.Cfg.Seed)
+	var flows []ezflow.FlowID
+	for f := range res.Flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
+		fr := res.Flows[f]
+		fmt.Printf("%v: %7.1f ± %5.1f kb/s   delay mean %6.3fs p95 %6.3fs max %6.3fs   (%d pkts)\n",
+			f, fr.MeanThroughputKbps, fr.StdThroughputKbps,
+			fr.MeanDelaySec, fr.P95DelaySec, fr.MaxDelaySec, fr.Delivered)
+	}
+	if len(flows) > 1 {
+		fmt.Printf("aggregate %.1f kb/s, Jain FI %.3f\n", res.AggKbps, res.Fairness)
+	}
+	var nodes []ezflow.NodeID
+	for n := range res.MeanQueue {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	fmt.Print("mean queue: ")
+	for _, n := range nodes {
+		if res.MeanQueue[n] >= 0.05 {
+			fmt.Printf("%v=%.1f ", n, res.MeanQueue[n])
+		}
+	}
+	fmt.Println()
+	if len(res.FinalCW) > 0 {
+		var keys []string
+		for k := range res.FinalCW {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Print("final cw: ")
+		for _, k := range keys {
+			fmt.Printf("%s=%d ", k, res.FinalCW[k])
+		}
+		fmt.Println()
+	}
+	if res.OverheadBytes > 0 {
+		fmt.Printf("message-passing overhead: %d bytes\n", res.OverheadBytes)
+	}
+}
+
+// printPlots renders the figures of the paper for this run: relay buffer
+// evolution (Figs. 1 and 4), per-flow throughput (Fig. 6), and the
+// contention-window staircases (Figs. 8 and 11).
+func printPlots(res *ezflow.Result) {
+	var queues []*stats.Series
+	var nodes []ezflow.NodeID
+	for n := range res.QueueTraces {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		s := res.QueueTraces[n]
+		if s.Mean() >= 0.5 { // skip idle nodes to keep the chart readable
+			s.Name = fmt.Sprintf("%v", n)
+			queues = append(queues, s)
+		}
+	}
+	fmt.Print(plot.Chart("\nbuffer evolution (cf. paper Figs. 1/4)",
+		plot.Options{YLabel: "queue [pkts]"}, queues...))
+
+	var thr []*stats.Series
+	var flows []ezflow.FlowID
+	for f := range res.Flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
+		s := res.Flows[f].Throughput
+		s.Name = fmt.Sprintf("%v", f)
+		thr = append(thr, s)
+	}
+	fmt.Print(plot.Chart("\nthroughput (cf. paper Fig. 6)",
+		plot.Options{YLabel: "kb/s"}, thr...))
+
+	if len(res.CWTraces) > 0 {
+		traces := make(map[string][]plot.CWPoint, len(res.CWTraces))
+		for key, tr := range res.CWTraces {
+			pts := make([]plot.CWPoint, len(tr))
+			for i, p := range tr {
+				pts[i] = plot.CWPoint{At: p.At, CW: p.CW}
+			}
+			traces[key] = pts
+		}
+		fmt.Print(plot.CWStaircase("\ncontention windows (cf. paper Figs. 8/11)",
+			plot.Options{}, traces))
+	}
+}
+
+func writeTraces(res *ezflow.Result, dir string) error {
+	b := trace.NewBundle()
+	for n, s := range res.QueueTraces {
+		b.Series[fmt.Sprintf("queue_%v", n)] = s
+	}
+	for f, fr := range res.Flows {
+		b.Series[fmt.Sprintf("throughput_%v", f)] = fr.Throughput
+		b.Series[fmt.Sprintf("delay_%v", f)] = fr.Delay
+	}
+	for key, tr := range res.CWTraces {
+		pts := make([]trace.CWPoint, len(tr))
+		for i, p := range tr {
+			pts[i] = trace.CWPoint{At: p.At, CW: p.CW}
+		}
+		b.CW[key] = pts
+	}
+	_, err := b.WriteDir(dir)
+	return err
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ezsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Adaptive: a head-to-head of all four control modes on the same 5-hop
+// chain — plain 802.11, the static penalty scheme of [9] (which needs the
+// topology-dependent factor q chosen offline), a DiffQ-style differential
+// backlog controller (which needs message passing), and EZ-Flow (which
+// needs neither). The comparison prints throughput, delay, first-relay
+// backlog, and control overhead bytes.
+package main
+
+import (
+	"fmt"
+
+	"ezflow"
+)
+
+func main() {
+	fmt.Printf("%-10s %12s %10s %14s %12s\n",
+		"mode", "kb/s", "delay s", "N1 backlog", "overhead B")
+	for _, mode := range []ezflow.Mode{
+		ezflow.Mode80211, ezflow.ModePenalty, ezflow.ModeDiffQ, ezflow.ModeEZFlow,
+	} {
+		cfg := ezflow.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Duration = 900 * ezflow.Second
+		cfg.PenaltyQ = 1.0 / 128 // the hand-tuned value of [9]
+		cfg.PenaltyRelayCW = 16
+
+		sc := ezflow.NewChain(5, cfg, ezflow.FlowSpec{Flow: 1, RateBps: 2e6})
+		res := sc.Run()
+		fr := res.Flows[1]
+		fmt.Printf("%-10v %12.1f %10.2f %14.1f %12d\n",
+			mode, fr.MeanThroughputKbps, fr.MeanDelaySec,
+			res.MeanQueue[1], res.OverheadBytes)
+	}
+	fmt.Println("\nEZ-Flow matches the hand-tuned penalty scheme without knowing the")
+	fmt.Println("topology, and matches DiffQ's stabilisation without its per-frame")
+	fmt.Println("message-passing overhead.")
+}

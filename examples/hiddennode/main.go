@@ -1,0 +1,55 @@
+// Hidden node: the three-flow scenario of the paper's §5.3 (Figure 9),
+// where the source of flow F2 is hidden from the source of F1. Plain
+// 802.11 drastically starves F2 (huge delay, trickle throughput); EZ-Flow
+// detects the congestion its collisions create downstream and throttles
+// the hidden source, rescuing F2's throughput and pushing Jain's fairness
+// index toward 1 (Table 3).
+package main
+
+import (
+	"fmt"
+
+	"ezflow"
+)
+
+func main() {
+	const (
+		f3Start = 1805 * ezflow.Second
+		f3Stop  = 3605 * ezflow.Second
+		end     = 4500 * ezflow.Second
+	)
+	for _, mode := range []ezflow.Mode{ezflow.Mode80211, ezflow.ModeEZFlow} {
+		cfg := ezflow.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Duration = end
+
+		sc := ezflow.NewScenario2(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: 2e6, Start: 5 * ezflow.Second, Stop: end},
+			ezflow.FlowSpec{Flow: 2, RateBps: 2e6, Start: 5 * ezflow.Second, Stop: f3Stop},
+			ezflow.FlowSpec{Flow: 3, RateBps: 2e6, Start: f3Start, Stop: f3Stop},
+		)
+		res := sc.Run()
+
+		fmt.Printf("--- %v ---\n", mode)
+		show := func(name string, from, to ezflow.Time, flows ...ezflow.FlowID) {
+			fmt.Printf("  %-12s", name)
+			for _, f := range flows {
+				mean, _ := res.FlowWindowKbps(f, from, to)
+				fmt.Printf("  %v %6.1f kb/s", f, mean)
+			}
+			if len(flows) > 1 {
+				fmt.Printf("   FI %.2f", res.FairnessWindow(from, to, flows...))
+			}
+			fmt.Println()
+		}
+		show("F1+F2", 5*ezflow.Second, f3Start, 1, 2)
+		show("F1+F2+F3", f3Start, f3Stop, 1, 2, 3)
+		show("F1 alone", f3Stop, end, 1)
+		if mode == ezflow.ModeEZFlow {
+			fmt.Printf("  hidden source N10 throttled to cw %d; F1 relays at cw %d\n",
+				res.FinalCW["N10->N11"], res.FinalCW["N4->N5"])
+		}
+	}
+	fmt.Println("\npaper (Table 3): FI 0.75 -> 1.00 (two flows), 0.64 -> 0.80 (three flows),")
+	fmt.Println("with the cumulative throughput up 62% and delays down an order of magnitude.")
+}

@@ -1,0 +1,40 @@
+// Parking lot: the testbed workload of the paper's §4.3 — a long 7-hop
+// flow F1 shares its tail with a short 4-hop flow F2. Under plain 802.11
+// the short flow's aggressive source starves the long flow almost
+// completely; EZ-Flow throttles both sources just enough to stabilise
+// their own flows, solving the starvation and raising both the aggregate
+// throughput and Jain's fairness index (Table 2 of the paper).
+//
+// The run reproduces the testbed's hardware quirk too: the MadWifi driver
+// ignored CWmin values above 2^10, modelled here with a hardware cap.
+package main
+
+import (
+	"fmt"
+
+	"ezflow"
+)
+
+func main() {
+	for _, mode := range []ezflow.Mode{ezflow.Mode80211, ezflow.ModeEZFlow} {
+		cfg := ezflow.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Duration = 1800 * ezflow.Second
+		cfg.MAC.HardwareCWCap = 1 << 10 // the MadWifi limitation of §4.1
+
+		sc := ezflow.NewTestbed(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: 2e6}, // 7-hop long flow
+			ezflow.FlowSpec{Flow: 2, RateBps: 2e6}, // 4-hop competing flow
+		)
+		res := sc.Run()
+
+		f1, f2 := res.Flows[1], res.Flows[2]
+		fmt.Printf("%-8s  F1 %6.1f±%5.1f kb/s   F2 %6.1f±%5.1f kb/s   aggregate %6.1f   Jain FI %.2f\n",
+			mode,
+			f1.MeanThroughputKbps, f1.StdThroughputKbps,
+			f2.MeanThroughputKbps, f2.StdThroughputKbps,
+			res.AggKbps, res.Fairness)
+	}
+	fmt.Println("\npaper (Table 2): 802.11 starves F1 (7 vs 143 kb/s, FI 0.55);")
+	fmt.Println("EZ-flow rebalances to 71 vs 110 kb/s, FI 0.96.")
+}

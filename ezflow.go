@@ -1,0 +1,441 @@
+// Package ezflow is the public API of the EZ-Flow reproduction: a
+// discrete-event IEEE 802.11 wireless-mesh simulator with the EZ-Flow
+// hop-by-hop flow-control mechanism of Aziz, Starobinski, Thiran and
+// El Fawal (CoNEXT 2009), the baselines it is compared against, and the
+// workloads of the paper's evaluation.
+//
+// A Scenario bundles a topology, a set of flows with activity schedules, a
+// control mode (plain 802.11, EZ-Flow, static penalty, or DiffQ-style
+// message passing), and the instrumentation the paper reports: per-flow
+// throughput and delay series, relay queue traces, contention-window
+// traces, and Jain's fairness index.
+//
+// Quickstart:
+//
+//	cfg := ezflow.DefaultConfig()
+//	cfg.Mode = ezflow.ModeEZFlow
+//	sc := ezflow.NewChain(4, cfg,
+//		ezflow.FlowSpec{Flow: 1, RateBps: 2e6, Stop: cfg.Duration})
+//	res := sc.Run()
+//	fmt.Println(res.Flows[1].MeanThroughputKbps)
+package ezflow
+
+import (
+	"fmt"
+	"sort"
+
+	"ezflow/internal/baseline"
+	ez "ezflow/internal/ezflow"
+	"ezflow/internal/mac"
+	"ezflow/internal/mesh"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+	"ezflow/internal/stats"
+	"ezflow/internal/traffic"
+)
+
+// Re-exported identifier types so callers rarely need the internal
+// packages.
+type (
+	// NodeID identifies a mesh node.
+	NodeID = pkt.NodeID
+	// FlowID identifies an end-to-end flow.
+	FlowID = pkt.FlowID
+	// Time is virtual simulation time in nanoseconds.
+	Time = sim.Time
+	// Position is a node location in metres.
+	Position = phy.Position
+)
+
+// Second is one simulated second.
+const Second = sim.Second
+
+// Mode selects the flow-control mechanism under test.
+type Mode int
+
+const (
+	// Mode80211 is plain IEEE 802.11 with no controller (the baseline).
+	Mode80211 Mode = iota
+	// ModeEZFlow deploys the paper's BOE+CAA controller at every relay.
+	ModeEZFlow
+	// ModePenalty applies the static penalty scheme of [9] with factor Q.
+	ModePenalty
+	// ModeDiffQ deploys the DiffQ-style differential-backlog controller,
+	// which piggybacks queue sizes on data frames (message passing).
+	ModeDiffQ
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Mode80211:
+		return "802.11"
+	case ModeEZFlow:
+		return "EZ-flow"
+	case ModePenalty:
+		return "penalty-q"
+	case ModeDiffQ:
+		return "DiffQ"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a scenario run.
+type Config struct {
+	Seed     int64
+	Duration Time
+	Mode     Mode
+
+	// PHY/MAC parameters; zero values select the paper's defaults
+	// (802.11b at 1 Mb/s, 250/550 m ranges, CWmin 32, 50-packet queues).
+	PHY phy.Config
+	MAC mac.Config
+
+	// EZ holds EZ-Flow options (thresholds, window, sniff loss).
+	EZ ez.Options
+	// PenaltyQ is the throttling factor of ModePenalty (0 < q <= 1).
+	PenaltyQ float64
+	// PenaltyRelayCW is the relay contention window of ModePenalty.
+	PenaltyRelayCW int
+
+	// PacketBytes is the network packet size (default 1028).
+	PacketBytes int
+	// Bin is the width of throughput bins (default 10 s).
+	Bin Time
+	// QueueSample is the period of queue-occupancy sampling (default 1 s).
+	QueueSample Time
+	// WarmupSkip excludes an initial interval from summary statistics.
+	WarmupSkip Time
+}
+
+// DefaultConfig returns the paper's simulation settings.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		Duration:    600 * Second,
+		Mode:        Mode80211,
+		PHY:         phy.DefaultConfig(),
+		MAC:         mac.DefaultConfig(),
+		EZ:          ez.DefaultOptions(),
+		PenaltyQ:    1.0 / 128,
+		PacketBytes: pkt.DefaultPayloadBytes,
+		Bin:         10 * Second,
+		QueueSample: 1 * Second,
+	}
+}
+
+// FlowSpec describes one flow's traffic: CBR at RateBps from Start to Stop
+// (Stop = 0 means the whole run). Poisson selects Poisson arrivals instead
+// of CBR.
+type FlowSpec struct {
+	Flow    FlowID
+	RateBps float64
+	Bytes   int
+	Start   Time
+	Stop    Time
+	Poisson bool
+}
+
+// Scenario is a fully wired experiment ready to run.
+type Scenario struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Mesh    *mesh.Mesh
+	Sources map[FlowID]*traffic.Source
+	Meters  map[FlowID]*stats.FlowMeter
+	// QueueTraces samples each relay's forwarded-traffic backlog.
+	QueueTraces map[NodeID]*stats.Sampler
+	// Deployment is non-nil in ModeEZFlow.
+	Deployment *ez.Deployment
+	// DiffQ is non-nil in ModeDiffQ.
+	DiffQ *baseline.DiffQDeployment
+
+	specs []FlowSpec
+	ran   bool
+}
+
+// NewScenario wires a scenario around a caller-built mesh. The builder
+// receives the engine and must return the mesh with routes installed.
+func NewScenario(cfg Config, build func(*sim.Engine) *mesh.Mesh, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := build(eng)
+	return wire(cfg, eng, m, flows)
+}
+
+func fillDefaults(cfg *Config) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 600 * Second
+	}
+	if cfg.PHY.BitRate == 0 {
+		cfg.PHY = phy.DefaultConfig()
+	}
+	if cfg.MAC.CWmin == 0 {
+		def := mac.DefaultConfig()
+		def.HardwareCWCap = cfg.MAC.HardwareCWCap
+		def.UseRTSCTS = cfg.MAC.UseRTSCTS
+		cfg.MAC = def
+	}
+	if cfg.EZ.CAA.Window == 0 {
+		cfg.EZ.CAA = ez.DefaultCAAConfig()
+	}
+	if cfg.PacketBytes <= 0 {
+		cfg.PacketBytes = pkt.DefaultPayloadBytes
+	}
+	if cfg.Bin <= 0 {
+		cfg.Bin = 10 * Second
+	}
+	if cfg.QueueSample <= 0 {
+		cfg.QueueSample = 1 * Second
+	}
+	if cfg.PenaltyQ <= 0 || cfg.PenaltyQ > 1 {
+		cfg.PenaltyQ = 1.0 / 128
+	}
+	if cfg.PenaltyRelayCW <= 0 {
+		cfg.PenaltyRelayCW = 16
+	}
+}
+
+// NewChain builds a linear K-hop scenario (flow 1 runs end to end).
+func NewChain(hops int, cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Chain(eng, hops, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, flows)
+}
+
+// NewTestbed builds the 9-router deployment of the paper's Figure 3, with
+// the calibrated per-link losses of Table 1.
+func NewTestbed(cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Testbed(eng, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, flows)
+}
+
+// NewScenario1 builds the 2-flow merge topology of Figure 5.
+func NewScenario1(cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Scenario1(eng, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, flows)
+}
+
+// NewScenario2 builds the 3-flow topology of Figure 9.
+func NewScenario2(cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Scenario2(eng, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, flows)
+}
+
+// NewTree builds the §7 downlink tree: a gateway fanning out to
+// branching^depth leaves, one flow per leaf (flow ids 1..#leaves), with
+// one per-successor MAC queue at every interior node (the 802.11e-style
+// multi-queue deployment the paper's conclusion proposes). If no flows
+// are passed, a saturating CBR flow per leaf is created sharing the
+// gateway's capacity.
+func NewTree(branching, depth int, cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Tree(eng, branching, depth, cfg.PHY, cfg.MAC)
+	if len(flows) == 0 {
+		leaves := mesh.TreeLeaves(branching, depth)
+		for f := 1; f <= leaves; f++ {
+			flows = append(flows, FlowSpec{Flow: FlowID(f), RateBps: 2e6 / float64(leaves)})
+		}
+	}
+	return wire(cfg, eng, m, flows)
+}
+
+func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario {
+	sc := &Scenario{
+		Cfg:         cfg,
+		Eng:         eng,
+		Mesh:        m,
+		Sources:     make(map[FlowID]*traffic.Source),
+		Meters:      make(map[FlowID]*stats.FlowMeter),
+		QueueTraces: make(map[NodeID]*stats.Sampler),
+		specs:       flows,
+	}
+
+	// Metering: one FlowMeter per flow, fed by the mesh sink.
+	for _, fs := range flows {
+		sc.Meters[fs.Flow] = stats.NewFlowMeter(cfg.Bin)
+	}
+	m.AddSink(func(p *pkt.Packet, at sim.Time) {
+		if mt := sc.Meters[p.Flow]; mt != nil {
+			mt.OnDeliver(at, p.Created, p.Bytes)
+		}
+	})
+
+	// Sources with schedules.
+	for _, fs := range flows {
+		bytes := fs.Bytes
+		if bytes <= 0 {
+			bytes = cfg.PacketBytes
+		}
+		var src *traffic.Source
+		if fs.Poisson {
+			src = traffic.NewPoisson(m, fs.Flow, fs.RateBps, bytes)
+		} else {
+			src = traffic.NewCBR(m, fs.Flow, fs.RateBps, bytes)
+		}
+		src.StartAt(fs.Start)
+		stop := fs.Stop
+		if stop <= 0 {
+			stop = cfg.Duration
+		}
+		src.StopAt(stop)
+		sc.Sources[fs.Flow] = src
+	}
+
+	// Controller deployment.
+	switch cfg.Mode {
+	case ModeEZFlow:
+		sc.Deployment = ez.Deploy(m, cfg.EZ)
+	case ModePenalty:
+		baseline.ApplyPenalty(m, cfg.PenaltyQ, cfg.PenaltyRelayCW)
+	case ModeDiffQ:
+		sc.DiffQ = baseline.DeployDiffQ(m)
+	}
+
+	// Queue traces at every node that relays for some flow.
+	for _, n := range m.Nodes() {
+		nn := n
+		sc.QueueTraces[n.ID] = stats.NewSampler(eng,
+			fmt.Sprintf("queue-%v", n.ID), cfg.QueueSample,
+			func() float64 { return float64(nn.MAC.TotalQueued()) })
+	}
+	return sc
+}
+
+// FlowResult summarises one flow.
+type FlowResult struct {
+	Flow               FlowID
+	Delivered          uint64
+	MeanThroughputKbps float64
+	StdThroughputKbps  float64
+	MeanDelaySec       float64
+	MaxDelaySec        float64
+	P95DelaySec        float64
+	Throughput         *stats.Series
+	Delay              *stats.Series
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	Cfg      Config
+	Flows    map[FlowID]*FlowResult
+	Fairness float64 // Jain index over per-flow mean throughputs
+	AggKbps  float64 // cumulative mean throughput
+	// QueueTraces maps node -> sampled total MAC backlog series.
+	QueueTraces map[NodeID]*stats.Series
+	// MeanQueue maps node -> time-average backlog.
+	MeanQueue map[NodeID]float64
+	// CWTraces maps "node->succ" -> contention window trace points
+	// (EZ-Flow mode only).
+	CWTraces map[string][]ez.CWPoint
+	// FinalCW maps "node->succ" -> cw at the end of the run.
+	FinalCW map[string]int
+	// Overhead reports extra control bytes put on the air (0 for
+	// EZ-Flow and plain 802.11; positive for DiffQ).
+	OverheadBytes uint64
+}
+
+// Run executes the scenario until cfg.Duration and summarises. It can only
+// be called once per scenario.
+func (sc *Scenario) Run() *Result {
+	if sc.ran {
+		panic("ezflow: scenario already run")
+	}
+	sc.ran = true
+	sc.Eng.Run(sc.Cfg.Duration)
+	now := sc.Eng.Now()
+
+	res := &Result{
+		Cfg:         sc.Cfg,
+		Flows:       make(map[FlowID]*FlowResult),
+		QueueTraces: make(map[NodeID]*stats.Series),
+		MeanQueue:   make(map[NodeID]float64),
+		CWTraces:    make(map[string][]ez.CWPoint),
+		FinalCW:     make(map[string]int),
+	}
+
+	var thr []float64
+	var flowIDs []FlowID
+	for f := range sc.Meters {
+		flowIDs = append(flowIDs, f)
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, f := range flowIDs {
+		mt := sc.Meters[f]
+		mt.Close(now)
+		w := mt.Throughput.Window(sc.Cfg.WarmupSkip, now)
+		dl := mt.Delay.Window(sc.Cfg.WarmupSkip, now)
+		fr := &FlowResult{
+			Flow:               f,
+			Delivered:          mt.Delivered,
+			MeanThroughputKbps: w.Mean(),
+			StdThroughputKbps:  w.Std(),
+			MeanDelaySec:       dl.Mean(),
+			MaxDelaySec:        dl.Max(),
+			P95DelaySec:        dl.Percentile(95),
+			Throughput:         &mt.Throughput,
+			Delay:              &mt.Delay,
+		}
+		res.Flows[f] = fr
+		thr = append(thr, fr.MeanThroughputKbps)
+		res.AggKbps += fr.MeanThroughputKbps
+	}
+	res.Fairness = stats.JainIndex(thr)
+
+	for id, s := range sc.QueueTraces {
+		s.Stop()
+		res.QueueTraces[id] = &s.Series
+		res.MeanQueue[id] = s.Series.Mean()
+	}
+	if sc.Deployment != nil {
+		for _, c := range sc.Deployment.Controllers {
+			key := fmt.Sprintf("%v->%v", c.Node, c.Successor)
+			res.CWTraces[key] = c.CWTrace
+			res.FinalCW[key] = c.Queue.CWmin()
+		}
+	}
+	if sc.DiffQ != nil {
+		res.OverheadBytes = sc.DiffQ.OverheadBytes
+	}
+	return res
+}
+
+// FlowWindowKbps reports a flow's mean and std throughput within [from,to),
+// used for the per-period tables of the paper (Tables 2 and 3).
+func (r *Result) FlowWindowKbps(f FlowID, from, to Time) (mean, std float64) {
+	fr := r.Flows[f]
+	if fr == nil {
+		return 0, 0
+	}
+	w := fr.Throughput.Window(from, to)
+	return w.Mean(), w.Std()
+}
+
+// FlowWindowDelay reports a flow's mean end-to-end delay within [from,to).
+func (r *Result) FlowWindowDelay(f FlowID, from, to Time) float64 {
+	fr := r.Flows[f]
+	if fr == nil {
+		return 0
+	}
+	return fr.Delay.Window(from, to).Mean()
+}
+
+// FairnessWindow computes Jain's index over the flows' mean throughputs
+// within [from,to), restricted to the listed flows.
+func (r *Result) FairnessWindow(from, to Time, flows ...FlowID) float64 {
+	var thr []float64
+	for _, f := range flows {
+		m, _ := r.FlowWindowKbps(f, from, to)
+		thr = append(thr, m)
+	}
+	return stats.JainIndex(thr)
+}

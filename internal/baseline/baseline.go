@@ -1,0 +1,123 @@
+// Package baseline implements the comparators the paper evaluates EZ-Flow
+// against:
+//
+//   - plain IEEE 802.11 (no controller at all — the default mesh);
+//   - the static penalty scheme of Aziz et al. [9], which throttles each
+//     flow's source by a topology-dependent factor q (the scheme EZ-Flow
+//     rediscovers distributively, cf. §5.2 where the stable regime matches
+//     q = 2^4/2^11);
+//   - a DiffQ-style differential-backlog controller (Warrier et al. [31])
+//     that *does* use message passing: each node piggybacks its queue size
+//     on outgoing data frames and maps the backlog difference to one of
+//     four CWmin classes, mirroring DiffQ's four MAC queues.
+package baseline
+
+import (
+	"ezflow/internal/mac"
+	"ezflow/internal/mesh"
+	"ezflow/internal/pkt"
+)
+
+// ApplyPenalty installs the static penalty scheme on a mesh: every flow
+// source uses cwSource = cwRelay / q (q in (0,1]), relays use cwRelay.
+// With q = 1 the scheme degenerates to plain 802.11.
+func ApplyPenalty(m *mesh.Mesh, q float64, cwRelay int) {
+	if q <= 0 || q > 1 {
+		panic("baseline: penalty factor q must be in (0,1]")
+	}
+	if cwRelay <= 0 {
+		cwRelay = mac.DefaultCWmin
+	}
+	cwSource := int(float64(cwRelay) / q)
+	for _, f := range m.Flows() {
+		route := m.Route(f)
+		src := m.Node(route[0])
+		for _, qq := range src.Queues() {
+			qq.SetCWmin(cwSource)
+		}
+		for i := 1; i < len(route)-1; i++ {
+			n := m.Node(route[i])
+			for _, qq := range n.Queues() {
+				qq.SetCWmin(cwRelay)
+			}
+		}
+	}
+}
+
+// DiffQ levels: backlog differential thresholds mapped to CWmin classes,
+// emulating DiffQ's four 802.11e queues with decreasing aggressiveness.
+var diffqCW = [4]int{16, 32, 128, 512}
+
+// DiffQNode is the per-node DiffQ controller state.
+type DiffQNode struct {
+	node *mesh.Node
+	// neighbourBacklog is the queue size most recently advertised by each
+	// neighbour — learned from the piggybacked QueueTag, i.e. by message
+	// passing (the overhead EZ-Flow avoids).
+	neighbourBacklog map[pkt.NodeID]int
+
+	Updates uint64 // backlog advertisements received
+}
+
+// DiffQDeployment is DiffQ installed over a mesh.
+type DiffQDeployment struct {
+	Nodes map[pkt.NodeID]*DiffQNode
+	// OverheadBytes counts the extra header bytes DiffQ adds to data
+	// frames (4 bytes per frame, its packet-structure modification).
+	OverheadBytes uint64
+}
+
+// PiggybackBytes is the per-frame header overhead DiffQ adds.
+const PiggybackBytes = 4
+
+// DeployDiffQ installs the DiffQ-style controller on every node of the
+// mesh. It (a) stamps each outgoing data frame with the node's current
+// total backlog via Frame.QueueTag, and (b) on each received or overheard
+// stamped frame updates the neighbour's advertised backlog and re-maps
+// every transmit queue's CWmin according to the backlog differential
+// (own - successor's): large positive differential -> aggressive class.
+func DeployDiffQ(m *mesh.Mesh) *DiffQDeployment {
+	dep := &DiffQDeployment{Nodes: make(map[pkt.NodeID]*DiffQNode)}
+	for _, n := range m.Nodes() {
+		dn := &DiffQNode{node: n, neighbourBacklog: make(map[pkt.NodeID]int)}
+		dep.Nodes[n.ID] = dn
+		nn := n
+		// Stamp outgoing frames with our backlog (message passing).
+		nn.MAC.AddTxNotify(func(f *pkt.Frame) {
+			f.QueueTag = nn.MAC.TotalQueued()
+			dep.OverheadBytes += PiggybackBytes
+		})
+		// Learn neighbour backlogs from any decoded stamped frame.
+		nn.MAC.AddTap(func(f *pkt.Frame, _ pkt.CaptureInfo) {
+			if f.Type != pkt.FrameData {
+				return
+			}
+			dn.neighbourBacklog[f.TxSrc] = f.QueueTag
+			dn.Updates++
+			dn.remap()
+		})
+	}
+	return dep
+}
+
+// remap assigns each transmit queue a CWmin class from the backlog
+// differential toward its next hop.
+func (dn *DiffQNode) remap() {
+	own := dn.node.MAC.TotalQueued()
+	for _, q := range dn.node.Queues() {
+		succ := q.NextHop()
+		diff := own - dn.neighbourBacklog[succ]
+		var cw int
+		switch {
+		case diff > 20:
+			cw = diffqCW[0]
+		case diff > 5:
+			cw = diffqCW[1]
+		case diff > 0:
+			cw = diffqCW[2]
+		default:
+			cw = diffqCW[3]
+		}
+		q.SetCWmin(cw)
+	}
+}

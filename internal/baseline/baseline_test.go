@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"testing"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/mesh"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+	"ezflow/internal/traffic"
+)
+
+func newChain(t *testing.T, hops int) (*sim.Engine, *mesh.Mesh) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := mesh.Chain(eng, hops, phy.DefaultConfig(), mac.DefaultConfig())
+	return eng, m
+}
+
+func TestPenaltySetsWindows(t *testing.T) {
+	_, m := newChain(t, 4)
+	ApplyPenalty(m, 1.0/8, 16)
+	// Source queue cw = 16/(1/8) = 128; relays = 16.
+	if cw := m.Node(0).SourceQueue(1).CWmin(); cw != 128 {
+		t.Fatalf("source cw = %d, want 128", cw)
+	}
+	for i := 1; i <= 3; i++ {
+		n := m.Node(pkt.NodeID(i))
+		for _, q := range n.Queues() {
+			if q.CWmin() != 16 {
+				t.Fatalf("relay N%d cw = %d, want 16", i, q.CWmin())
+			}
+		}
+	}
+}
+
+func TestPenaltyDegeneratesToPlain(t *testing.T) {
+	_, m := newChain(t, 3)
+	ApplyPenalty(m, 1, 32)
+	if cw := m.Node(0).SourceQueue(1).CWmin(); cw != 32 {
+		t.Fatalf("q=1 source cw = %d, want 32", cw)
+	}
+}
+
+func TestPenaltyRejectsBadQ(t *testing.T) {
+	_, m := newChain(t, 3)
+	for _, q := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ApplyPenalty(%v) did not panic", q)
+				}
+			}()
+			ApplyPenalty(m, q, 16)
+		}()
+	}
+}
+
+func TestPenaltyStabilizesChain(t *testing.T) {
+	// The scheme of [9] with a strong penalty must keep the first relay's
+	// queue from saturating on a 4-hop chain.
+	eng, m := newChain(t, 4)
+	ApplyPenalty(m, 1.0/32, 16)
+	src := traffic.NewCBR(m, 1, 2e6, 1028)
+	src.Start()
+	eng.Run(600 * sim.Second)
+	if d := m.Node(1).RelayDepth(); d > 40 {
+		t.Fatalf("penalty scheme left N1 with %d queued", d)
+	}
+}
+
+func TestDiffQPiggybacksAndAdapts(t *testing.T) {
+	eng, m := newChain(t, 4)
+	dep := DeployDiffQ(m)
+	src := traffic.NewCBR(m, 1, 2e6, 1028)
+	src.Start()
+	eng.Run(120 * sim.Second)
+	if dep.OverheadBytes == 0 {
+		t.Fatal("DiffQ sent no piggybacked bytes (message passing absent)")
+	}
+	n1 := dep.Nodes[1]
+	if n1.Updates == 0 {
+		t.Fatal("DiffQ node never learned a neighbour backlog")
+	}
+	// At least one queue should have left the default CWmin class.
+	moved := false
+	for _, n := range m.Nodes() {
+		for _, q := range n.Queues() {
+			if q.CWmin() != mac.DefaultCWmin {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("DiffQ never remapped any CWmin")
+	}
+}
+
+func TestDiffQOverheadGrowsWithTraffic(t *testing.T) {
+	run := func(dur sim.Time) uint64 {
+		eng, m := newChain(t, 3)
+		dep := DeployDiffQ(m)
+		src := traffic.NewCBR(m, 1, 2e6, 1028)
+		src.Start()
+		eng.Run(dur)
+		return dep.OverheadBytes
+	}
+	short, long := run(30*sim.Second), run(120*sim.Second)
+	if long <= short {
+		t.Fatalf("overhead did not grow with traffic: %d vs %d", short, long)
+	}
+}

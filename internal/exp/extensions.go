@@ -1,0 +1,122 @@
+package exp
+
+import (
+	root "ezflow"
+	"ezflow/internal/mesh"
+)
+
+// HopSweepResult extends Figure 1 across chain lengths: per-hop-count
+// throughput and first-relay backlog for plain 802.11 and EZ-Flow. It is
+// the quantitative form of the paper's claim that networks longer than
+// three hops are intrinsically unstable and that EZ-Flow repairs them.
+type HopSweepResult struct {
+	Hops []int
+	// Throughput[mode][hops], FirstRelayQueue[mode][hops].
+	Throughput      map[root.Mode]map[int]float64
+	FirstRelayQueue map[root.Mode]map[int]float64
+	Report          Report
+}
+
+// HopSweep measures chains of 2..7 hops under both modes.
+func HopSweep(o Options) *HopSweepResult {
+	r := &HopSweepResult{
+		Hops:            []int{2, 3, 4, 5, 6, 7},
+		Throughput:      make(map[root.Mode]map[int]float64),
+		FirstRelayQueue: make(map[root.Mode]map[int]float64),
+		Report:          Report{Name: "Hop sweep: throughput and first-relay backlog vs chain length"},
+	}
+	dur := o.dur(1200)
+	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+		r.Throughput[mode] = make(map[int]float64)
+		r.FirstRelayQueue[mode] = make(map[int]float64)
+		for _, hops := range r.Hops {
+			cfg := baseConfig(o, mode, dur)
+			sc := root.NewChain(hops, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
+			res := sc.Run()
+			r.Throughput[mode][hops] = res.Flows[1].MeanThroughputKbps
+			r.FirstRelayQueue[mode][hops] = res.MeanQueue[1]
+		}
+	}
+	for _, hops := range r.Hops {
+		r.Report.addf("%d hops: 802.11 %6.1f kb/s (q1 %4.1f) | EZ-flow %6.1f kb/s (q1 %4.1f)",
+			hops,
+			r.Throughput[root.Mode80211][hops], r.FirstRelayQueue[root.Mode80211][hops],
+			r.Throughput[root.ModeEZFlow][hops], r.FirstRelayQueue[root.ModeEZFlow][hops])
+	}
+	r.Report.addf("shape: <=3 hops stable either way; beyond, 802.11 queues blow up and EZ-flow holds them down")
+	return r
+}
+
+// TreeResult exercises the §7 downlink extension: EZ-Flow with one
+// controller per successor queue on a branching tree.
+type TreeResult struct {
+	Branching, Depth int
+	// AggKbps and Fairness per mode.
+	AggKbps  map[root.Mode]float64
+	Fairness map[root.Mode]float64
+	// GatewayQueues is the number of per-successor queues at the gateway.
+	GatewayQueues int
+	Report        Report
+}
+
+// TreeDownlink runs a (branching, depth) tree with one downlink flow per
+// leaf under both modes.
+func TreeDownlink(o Options, branching, depth int) *TreeResult {
+	r := &TreeResult{
+		Branching: branching, Depth: depth,
+		AggKbps:  make(map[root.Mode]float64),
+		Fairness: make(map[root.Mode]float64),
+		Report:   Report{Name: "Tree downlink (§7 extension): per-successor queues"},
+	}
+	dur := o.dur(1200)
+	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+		cfg := baseConfig(o, mode, dur)
+		sc := root.NewTree(branching, depth, cfg)
+		if mode == root.Mode80211 {
+			r.GatewayQueues = len(sc.Mesh.Node(0).Queues())
+		}
+		res := sc.Run()
+		r.AggKbps[mode] = res.AggKbps
+		r.Fairness[mode] = res.Fairness
+		r.Report.addf("%-8s aggregate %6.1f kb/s  FI %.2f", mode, res.AggKbps, res.Fairness)
+	}
+	r.Report.addf("gateway runs %d per-successor queues (802.11e-style, <= %d)",
+		r.GatewayQueues, mesh.MaxSuccessors)
+	return r
+}
+
+// RTSCTSResult quantifies the paper's §5.1 argument for disabling RTS/CTS:
+// with a 550 m sensing range covering more than the 2x250 m the handshake
+// protects, RTS/CTS adds overhead without preventing the relevant
+// collisions.
+type RTSCTSResult struct {
+	// ThroughputKbps[useRTSCTS]
+	ThroughputKbps map[bool]float64
+	DelaySec       map[bool]float64
+	Report         Report
+}
+
+// RTSCTS compares the 4-hop chain with and without the handshake.
+func RTSCTS(o Options) *RTSCTSResult {
+	r := &RTSCTSResult{
+		ThroughputKbps: make(map[bool]float64),
+		DelaySec:       make(map[bool]float64),
+		Report:         Report{Name: "RTS/CTS ablation (§5.1: the handshake is useless at these ranges)"},
+	}
+	dur := o.dur(1200)
+	for _, use := range []bool{false, true} {
+		cfg := baseConfig(o, root.Mode80211, dur)
+		cfg.MAC.UseRTSCTS = use
+		sc := root.NewChain(4, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
+		res := sc.Run()
+		r.ThroughputKbps[use] = res.Flows[1].MeanThroughputKbps
+		r.DelaySec[use] = res.Flows[1].MeanDelaySec
+		label := "off"
+		if use {
+			label = "on"
+		}
+		r.Report.addf("RTS/CTS %-3s: %6.1f kb/s, delay %.2fs", label,
+			r.ThroughputKbps[use], r.DelaySec[use])
+	}
+	return r
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"testing"
+
+	root "ezflow"
+)
+
+func TestHopSweepShape(t *testing.T) {
+	r := HopSweep(quick)
+	// Throughput under plain 802.11 decreases with hop count (2 and 3 may
+	// be close; 4+ must fall).
+	p := r.Throughput[root.Mode80211]
+	if !(p[3] > p[4] && p[4] >= p[5]*0.95) {
+		t.Errorf("802.11 throughput not degrading with hops: %v", p)
+	}
+	// The 3-hop chain is the paper's stable case. (2 hops is critically
+	// loaded — source and relay split the channel exactly — so its queue
+	// legitimately random-walks high; the stability claim starts at 3.)
+	if r.FirstRelayQueue[root.Mode80211][3] > 10 {
+		t.Errorf("3-hop chain unstable under 802.11: q1=%.1f",
+			r.FirstRelayQueue[root.Mode80211][3])
+	}
+	// Long chains: EZ-Flow keeps the first relay well below plain 802.11.
+	for _, hops := range []int{5, 6, 7} {
+		plain := r.FirstRelayQueue[root.Mode80211][hops]
+		with := r.FirstRelayQueue[root.ModeEZFlow][hops]
+		if with > plain/2 {
+			t.Errorf("%d hops: EZ-flow q1 %.1f not well below 802.11 %.1f",
+				hops, with, plain)
+		}
+	}
+}
+
+func TestTreeDownlinkShape(t *testing.T) {
+	r := TreeDownlink(quick, 3, 2)
+	if r.GatewayQueues != 3 {
+		t.Fatalf("gateway queues = %d, want 3 (one per successor)", r.GatewayQueues)
+	}
+	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+		if r.AggKbps[mode] <= 0 {
+			t.Fatalf("%v delivered nothing", mode)
+		}
+	}
+	// The downlink tree is CAA-controlled per successor; EZ-Flow must not
+	// collapse aggregate throughput nor fairness.
+	if r.AggKbps[root.ModeEZFlow] < 0.7*r.AggKbps[root.Mode80211] {
+		t.Errorf("EZ-flow collapsed tree throughput: %.1f vs %.1f",
+			r.AggKbps[root.ModeEZFlow], r.AggKbps[root.Mode80211])
+	}
+	if r.Fairness[root.ModeEZFlow] < r.Fairness[root.Mode80211]-0.1 {
+		t.Errorf("EZ-flow hurt tree fairness: %.2f vs %.2f",
+			r.Fairness[root.ModeEZFlow], r.Fairness[root.Mode80211])
+	}
+}
+
+func TestRTSCTSShape(t *testing.T) {
+	r := RTSCTS(quick)
+	// §5.1: the handshake cannot help (sensing already covers its
+	// footprint) and costs airtime, so throughput with RTS/CTS must not
+	// be better.
+	if r.ThroughputKbps[true] > r.ThroughputKbps[false]*1.02 {
+		t.Errorf("RTS/CTS improved throughput (%.1f vs %.1f), contradicting §5.1",
+			r.ThroughputKbps[true], r.ThroughputKbps[false])
+	}
+	if r.ThroughputKbps[true] <= 0 {
+		t.Error("RTS/CTS mode delivered nothing")
+	}
+}
+
+func TestBidirectionalShape(t *testing.T) {
+	r := Bidirectional(quick)
+	if r.Delivered["802.11"] == 0 || r.Delivered["EZ-flow"] == 0 {
+		t.Fatal("a bidirectional variant delivered nothing")
+	}
+	// EZ-Flow must preserve reasonable goodput under TCP-like load and
+	// must not inflate the relay backlog.
+	if float64(r.Delivered["EZ-flow"]) < 0.6*float64(r.Delivered["802.11"]) {
+		t.Errorf("EZ-flow collapsed bidirectional goodput: %d vs %d",
+			r.Delivered["EZ-flow"], r.Delivered["802.11"])
+	}
+	if r.RelayQ["EZ-flow"] > r.RelayQ["802.11"]*1.3 {
+		t.Errorf("EZ-flow inflated relay backlog: %.1f vs %.1f",
+			r.RelayQ["EZ-flow"], r.RelayQ["802.11"])
+	}
+}

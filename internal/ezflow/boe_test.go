@@ -1,0 +1,229 @@
+package ezflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// sniffFrom builds the data frame node succ would be overheard forwarding.
+func sniffFrom(succ pkt.NodeID, p *pkt.Packet) *pkt.Frame {
+	return &pkt.Frame{Type: pkt.FrameData, TxSrc: succ, TxDst: succ + 1, Payload: p}
+}
+
+func newTestBOE(succ pkt.NodeID) (*BOE, *[]Sample) {
+	var got []Sample
+	b := NewBOE(succ, func() sim.Time { return 0 }, func(s Sample) { got = append(got, s) })
+	return b, &got
+}
+
+// simulateFIFO drives a BOE against an explicitly simulated successor FIFO
+// and checks every estimate equals the true occupancy at overhear time.
+func TestBOEExactUnderFIFO(t *testing.T) {
+	b, got := newTestBOE(1)
+	var fifo []*pkt.Packet
+	seq := uint64(0)
+	send := func() {
+		seq++
+		p := pkt.NewPacket(1, seq, 0, 5, 1028, 0)
+		b.RecordSent(p.Checksum16())
+		fifo = append(fifo, p)
+	}
+	forward := func() *pkt.Packet {
+		p := fifo[0]
+		fifo = fifo[1:]
+		return p
+	}
+	// Interleave sends and forwards in a fixed pattern.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			send()
+		}
+		for i := 0; i < 2; i++ {
+			p := forward()
+			before := len(*got)
+			b.OnSniff(sniffFrom(1, p))
+			if len(*got) != before+1 {
+				t.Fatalf("round %d: sniff produced no estimate", round)
+			}
+			est := (*got)[len(*got)-1].Value
+			if est != len(fifo) {
+				t.Fatalf("round %d: estimate %d, true occupancy %d", round, est, len(fifo))
+			}
+		}
+	}
+	if b.Matched != b.Overheard {
+		t.Fatalf("matched %d of %d overheard under loss-free FIFO", b.Matched, b.Overheard)
+	}
+}
+
+func TestBOEIgnoresIrrelevantFrames(t *testing.T) {
+	b, got := newTestBOE(1)
+	p := pkt.NewPacket(1, 1, 0, 5, 1028, 0)
+	b.RecordSent(p.Checksum16())
+	// Wrong source: a frame from node 7, not the successor.
+	b.OnSniff(&pkt.Frame{Type: pkt.FrameData, TxSrc: 7, TxDst: 8, Payload: p})
+	// Control frame from the successor.
+	b.OnSniff(&pkt.Frame{Type: pkt.FrameAck, TxSrc: 1, TxDst: 0})
+	// Data frame without payload.
+	b.OnSniff(&pkt.Frame{Type: pkt.FrameData, TxSrc: 1, TxDst: 2})
+	if len(*got) != 0 {
+		t.Fatalf("irrelevant frames produced %d estimates", len(*got))
+	}
+}
+
+func TestBOEUnknownIdentifierNoEstimate(t *testing.T) {
+	b, got := newTestBOE(1)
+	sent := pkt.NewPacket(1, 1, 0, 5, 1028, 0)
+	b.RecordSent(sent.Checksum16())
+	// The successor forwards a packet we never sent (e.g. cross traffic
+	// from another predecessor).
+	other := pkt.NewPacket(9, 77, 3, 5, 999, 0)
+	if other.Checksum16() == sent.Checksum16() {
+		t.Skip("identifier collision in test vector")
+	}
+	b.OnSniff(sniffFrom(1, other))
+	if len(*got) != 0 {
+		t.Fatal("estimate produced for an unknown identifier")
+	}
+	if b.Overheard != 1 || b.Matched != 0 {
+		t.Fatalf("counters: overheard=%d matched=%d", b.Overheard, b.Matched)
+	}
+}
+
+func TestBOESniffBeforeAnySend(t *testing.T) {
+	b, got := newTestBOE(1)
+	b.OnSniff(sniffFrom(1, pkt.NewPacket(1, 1, 0, 5, 1028, 0)))
+	if len(*got) != 0 {
+		t.Fatal("estimate produced before any send was recorded")
+	}
+}
+
+func TestBOERingOverwrite(t *testing.T) {
+	b, got := newTestBOE(1)
+	// Send HistorySize+100 packets; the first 100 identifiers must be
+	// forgotten.
+	packets := make([]*pkt.Packet, HistorySize+100)
+	for i := range packets {
+		packets[i] = pkt.NewPacket(1, uint64(i+1), 0, 5, 1028, 0)
+		b.RecordSent(packets[i].Checksum16())
+	}
+	// Overhear the very first packet: its slot has been overwritten, so
+	// unless its 16-bit identifier happens to alias a live entry there is
+	// no estimate; if it does alias, the estimate is still bounded by the
+	// ring size.
+	before := len(*got)
+	b.OnSniff(sniffFrom(1, packets[0]))
+	if len(*got) > before {
+		est := (*got)[len(*got)-1].Value
+		if est < 0 || est >= HistorySize {
+			t.Fatalf("aliased estimate out of bounds: %d", est)
+		}
+	}
+	// The most recent packet must still be tracked exactly: estimate 0.
+	b.OnSniff(sniffFrom(1, packets[len(packets)-1]))
+	if len(*got) == before {
+		t.Fatal("no estimate for the most recent packet")
+	}
+	if est := (*got)[len(*got)-1].Value; est != 0 {
+		t.Fatalf("estimate for last-sent packet = %d, want 0", est)
+	}
+}
+
+func TestBOEIdentifierCollisionPicksNearest(t *testing.T) {
+	// Two distinct ring slots holding the same identifier: the estimate
+	// must use the most recently sent instance (smallest distance), which
+	// is the FIFO-consistent reading.
+	b, got := newTestBOE(1)
+	p := pkt.NewPacket(1, 42, 0, 5, 1028, 0)
+	b.RecordSent(p.Checksum16()) // old instance
+	for i := 0; i < 10; i++ {
+		b.RecordSent(pkt.NewPacket(1, uint64(100+i), 0, 5, 1028, 0).Checksum16())
+	}
+	b.RecordSent(p.Checksum16()) // fresh instance (same identifier)
+	b.RecordSent(pkt.NewPacket(1, 200, 0, 5, 1028, 0).Checksum16())
+	b.OnSniff(sniffFrom(1, p))
+	if len(*got) != 1 {
+		t.Fatal("no estimate")
+	}
+	if est := (*got)[0].Value; est != 1 {
+		t.Fatalf("estimate %d, want 1 (nearest instance)", est)
+	}
+}
+
+func TestBOELossySniffStillConsistent(t *testing.T) {
+	// §3.2: the BOE need not overhear every forwarded packet. Drop 70% of
+	// sniffs; every estimate that does fire must still be exact.
+	b, got := newTestBOE(1)
+	rng := rand.New(rand.NewSource(7))
+	var fifo []*pkt.Packet
+	seq := uint64(0)
+	for round := 0; round < 2000; round++ {
+		if rng.Intn(2) == 0 || len(fifo) == 0 {
+			seq++
+			p := pkt.NewPacket(1, seq, 0, 5, 1028, 0)
+			b.RecordSent(p.Checksum16())
+			fifo = append(fifo, p)
+		} else {
+			p := fifo[0]
+			fifo = fifo[1:]
+			if rng.Float64() < 0.7 {
+				continue // sniff lost
+			}
+			before := len(*got)
+			b.OnSniff(sniffFrom(1, p))
+			if len(*got) > before {
+				if est := (*got)[len(*got)-1].Value; est != len(fifo) {
+					t.Fatalf("lossy sniff estimate %d, true %d", est, len(fifo))
+				}
+			}
+		}
+	}
+	if len(*got) == 0 {
+		t.Fatal("no estimates at all under 70% sniff loss")
+	}
+}
+
+func TestBOESuccessorAccessor(t *testing.T) {
+	b, _ := newTestBOE(3)
+	if b.Successor() != 3 {
+		t.Fatal("Successor")
+	}
+}
+
+// Property: for any interleaving of sends and FIFO forwards (no loss), the
+// BOE estimate equals the true successor queue length. This is the paper's
+// core inference claim.
+func TestPropertyBOEMatchesFIFO(t *testing.T) {
+	f := func(ops []bool) bool {
+		b, got := newTestBOE(1)
+		var fifo []*pkt.Packet
+		seq := uint64(0)
+		for _, isSend := range ops {
+			if isSend || len(fifo) == 0 {
+				seq++
+				p := pkt.NewPacket(1, seq, 0, 5, 1028, 0)
+				b.RecordSent(p.Checksum16())
+				fifo = append(fifo, p)
+			} else {
+				p := fifo[0]
+				fifo = fifo[1:]
+				before := len(*got)
+				b.OnSniff(sniffFrom(1, p))
+				if len(*got) != before+1 {
+					return false
+				}
+				if (*got)[len(*got)-1].Value != len(fifo) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

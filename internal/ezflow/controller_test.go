@@ -1,0 +1,150 @@
+package ezflow
+
+import (
+	"testing"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/mesh"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+	"ezflow/internal/traffic"
+)
+
+func chainWithEZ(t *testing.T, hops int, opts Options) (*sim.Engine, *mesh.Mesh, *Deployment) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := mesh.Chain(eng, hops, phy.DefaultConfig(), mac.DefaultConfig())
+	dep := Deploy(m, opts)
+	return eng, m, dep
+}
+
+func TestDeployPlacesControllers(t *testing.T) {
+	_, _, dep := chainWithEZ(t, 4, DefaultOptions())
+	// Relays of the 4-hop chain are N1, N2, N3. Controllers watch
+	// successors that relay: N0 watches N1, N1 watches N2, N2 watches N3.
+	// N3's successor is the destination (never forwards), so no
+	// controller there.
+	if len(dep.Controllers) != 3 {
+		t.Fatalf("controllers = %d, want 3", len(dep.Controllers))
+	}
+	if c := dep.Controller(0, 1); c == nil || c.Queue == nil {
+		t.Fatal("missing controller N0->N1")
+	}
+	if dep.Controller(3, 4) != nil {
+		t.Fatal("controller watching the destination")
+	}
+	if got := len(dep.At(1)); got != 1 {
+		t.Fatalf("controllers at N1 = %d", got)
+	}
+}
+
+func TestControllerEndToEnd(t *testing.T) {
+	// Saturate a 5-hop chain and verify the EZ-Flow feedback loop closes:
+	// estimates flow, decisions fire, the source's cw rises above the
+	// relays' cw, and relay queues stay low on average.
+	eng, m, dep := chainWithEZ(t, 5, DefaultOptions())
+	src := traffic.NewCBR(m, 1, 2e6, 1028)
+	src.Start()
+	eng.Run(600 * sim.Second)
+
+	c01 := dep.Controller(0, 1)
+	if c01.BOE.Estimates == 0 {
+		t.Fatal("BOE produced no estimates")
+	}
+	if len(c01.CAA.Decisions) == 0 {
+		t.Fatal("CAA made no decisions")
+	}
+	cwSource := c01.Queue.CWmin()
+	cwRelay := dep.Controller(2, 3).Queue.CWmin()
+	if cwSource <= cwRelay {
+		t.Fatalf("source cw %d not above relay cw %d (no penalty discovered)",
+			cwSource, cwRelay)
+	}
+	if peak := dep.Controller(1, 2).Queue.PeakDepth; peak == 0 {
+		t.Fatal("relay never buffered anything (no traffic flowed?)")
+	}
+	// The stabilisation claim: the first relay must not end the run with
+	// a saturated buffer.
+	if got := m.Node(1).RelayDepth(); got > 45 {
+		t.Fatalf("relay N1 ends the run nearly saturated: %d", got)
+	}
+}
+
+func TestControllerCWTraceMonotoneTimes(t *testing.T) {
+	eng, m, dep := chainWithEZ(t, 4, DefaultOptions())
+	src := traffic.NewCBR(m, 1, 2e6, 1028)
+	src.Start()
+	eng.Run(300 * sim.Second)
+	for _, c := range dep.Controllers {
+		for i := 1; i < len(c.CWTrace); i++ {
+			if c.CWTrace[i].At < c.CWTrace[i-1].At {
+				t.Fatalf("cw trace times not monotone at %v", c.Node)
+			}
+		}
+	}
+}
+
+func TestSniffLossDegradesGracefully(t *testing.T) {
+	// §3.2's robustness claim: with 90% of overheard frames dropped the
+	// controller still collects estimates and still stabilises, only
+	// more slowly.
+	opts := DefaultOptions()
+	opts.SniffLoss = 0.9
+	eng, m, dep := chainWithEZ(t, 4, opts)
+	src := traffic.NewCBR(m, 1, 2e6, 1028)
+	src.Start()
+	eng.Run(600 * sim.Second)
+	c := dep.Controller(0, 1)
+	if c.BOE.Estimates == 0 {
+		t.Fatal("no estimates at all under 90% sniff loss")
+	}
+	full, _, _ := func() (*Deployment, *mesh.Mesh, *sim.Engine) {
+		e2, m2, d2 := chainWithEZ(t, 4, DefaultOptions())
+		s2 := traffic.NewCBR(m2, 1, 2e6, 1028)
+		s2.Start()
+		e2.Run(600 * sim.Second)
+		return d2, m2, e2
+	}()
+	if c.BOE.Estimates >= full.Controller(0, 1).BOE.Estimates {
+		t.Fatal("sniff loss did not reduce the estimate rate")
+	}
+}
+
+func TestDeployMultiFlowSharedRelay(t *testing.T) {
+	// Scenario-1-style merge: the junction node's queue gets exactly one
+	// controller per successor, and source nodes of both flows get one.
+	eng := sim.NewEngine(1)
+	m := mesh.Scenario1(eng, phy.DefaultConfig(), mac.DefaultConfig())
+	dep := Deploy(m, DefaultOptions())
+	// Each relay along the shared trunk N4->N3->N2->N1 watches one
+	// successor; N1's successor N0 is the gateway destination (no
+	// controller).
+	for _, nd := range []struct {
+		node, succ pkt.NodeID
+	}{{4, 3}, {3, 2}, {2, 1}, {12, 10}, {11, 9}, {10, 8}, {9, 7}} {
+		if dep.Controller(nd.node, nd.succ) == nil {
+			t.Errorf("missing controller %v->%v", nd.node, nd.succ)
+		}
+	}
+	if dep.Controller(1, 0) != nil {
+		t.Error("controller toward the gateway destination")
+	}
+}
+
+func TestAttachSingleQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := mesh.Chain(eng, 3, phy.DefaultConfig(), mac.DefaultConfig())
+	n0 := m.Node(0)
+	q := n0.SourceQueue(1)
+	ctl := Attach(n0, q, DefaultOptions())
+	if ctl.Node != 0 || ctl.Successor != 1 {
+		t.Fatalf("controller identity: %+v", ctl)
+	}
+	if len(ctl.CWTrace) != 1 {
+		t.Fatal("initial cw trace point missing")
+	}
+	if ctl.CAA == nil || ctl.BOE == nil {
+		t.Fatal("modules not wired")
+	}
+}

@@ -1,0 +1,161 @@
+package ezflow
+
+import (
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// AggregateBOE is the §2.3 extension of the estimator for opportunistic
+// (ExOR-style) forwarding, where packets handed to the medium may be
+// relayed by any of several successors and the per-successor forwarding
+// order is no longer strictly FIFO. The paper's observation: for
+// congestion control a node "just needs to keep to a low value the total
+// number of packets that are waiting to be forwarded at all of its
+// successors" — and with a larger averaging period the noisier signal is
+// still useful.
+//
+// AggregateBOE therefore keeps one shared send history and matches
+// overheard forwards from *any* registered successor against it, emitting
+// the estimated total backlog across the successor set: the packets sent
+// after the overheard one, minus those among them already observed
+// forwarded by some successor. Under non-FIFO forwarding individual
+// samples are noisy; the CAA's averaging absorbs the noise (verified in
+// tests).
+type AggregateBOE struct {
+	succs map[pkt.NodeID]bool
+
+	ring  []uint16
+	pos   map[uint16][]int
+	head  int
+	count int
+	last  int
+	// fwdIdx marks ring slots whose packet has been seen forwarded.
+	fwdIdx map[int]bool
+
+	Sent      uint64
+	Overheard uint64
+	Matched   uint64
+	Estimates uint64
+
+	emit func(Sample)
+	now  func() sim.Time
+}
+
+// NewAggregateBOE creates an estimator over the given successor set.
+func NewAggregateBOE(succs []pkt.NodeID, now func() sim.Time, emit func(Sample)) *AggregateBOE {
+	set := make(map[pkt.NodeID]bool, len(succs))
+	for _, s := range succs {
+		set[s] = true
+	}
+	return &AggregateBOE{
+		succs:  set,
+		ring:   make([]uint16, HistorySize),
+		pos:    make(map[uint16][]int),
+		last:   -1,
+		fwdIdx: make(map[int]bool),
+		emit:   emit,
+		now:    now,
+	}
+}
+
+// Successors reports the watched successor set.
+func (b *AggregateBOE) Successors() []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, len(b.succs))
+	for s := range b.succs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RecordSent stores the identifier of a packet handed to the successor
+// set.
+func (b *AggregateBOE) RecordSent(id uint16) {
+	b.Sent++
+	if b.count == len(b.ring) {
+		b.dropIndex(b.ring[b.head], b.head)
+		delete(b.fwdIdx, b.head)
+	} else {
+		b.count++
+	}
+	b.ring[b.head] = id
+	b.pos[id] = append(b.pos[id], b.head)
+	b.last = b.head
+	b.head = (b.head + 1) % len(b.ring)
+}
+
+func (b *AggregateBOE) dropIndex(id uint16, idx int) {
+	xs := b.pos[id]
+	for i, x := range xs {
+		if x == idx {
+			xs = append(xs[:i], xs[i+1:]...)
+			break
+		}
+	}
+	if len(xs) == 0 {
+		delete(b.pos, id)
+	} else {
+		b.pos[id] = xs
+	}
+}
+
+// dist is the circular distance from idx forward to last: the number of
+// packets sent strictly after the slot idx.
+func (b *AggregateBOE) dist(idx int) int {
+	return (b.last - idx + len(b.ring)) % len(b.ring)
+}
+
+// OnSniff processes an overheard frame from any watched successor and, on
+// a match, emits the estimated aggregate backlog.
+func (b *AggregateBOE) OnSniff(f *pkt.Frame) {
+	if f.Type != pkt.FrameData || f.Payload == nil || !b.succs[f.TxSrc] {
+		return
+	}
+	b.Overheard++
+	if b.last < 0 {
+		return
+	}
+	id := f.Payload.Checksum16()
+	idxs, ok := b.pos[id]
+	if !ok {
+		return
+	}
+	b.Matched++
+	// Among ring slots holding this identifier, prefer the most recent
+	// not-yet-forwarded instance; fall back to the most recent one.
+	best := -1
+	bestDist := len(b.ring) + 1
+	for _, idx := range idxs {
+		if b.fwdIdx[idx] {
+			continue
+		}
+		if d := b.dist(idx); d < bestDist {
+			bestDist = d
+			best = idx
+		}
+	}
+	if best < 0 {
+		for _, idx := range idxs {
+			if d := b.dist(idx); d < bestDist {
+				bestDist = d
+				best = idx
+			}
+		}
+	}
+	// Waiting = sent after the overheard packet, minus those among them
+	// already observed forwarded.
+	already := 0
+	for idx := range b.fwdIdx {
+		if d := b.dist(idx); d < bestDist {
+			already++
+		}
+	}
+	est := bestDist - already
+	if est < 0 {
+		est = 0
+	}
+	b.fwdIdx[best] = true
+	b.Estimates++
+	if b.emit != nil {
+		b.emit(Sample{At: b.now(), Value: est})
+	}
+}

@@ -1,0 +1,662 @@
+// Package mac implements the IEEE 802.11 Distributed Coordination Function
+// (DCF) over the phy channel: DIFS/SIFS/slot timing, uniform backoff in
+// [0, cw-1] with freezing, exponential retry backoff, positive ACKs with a
+// retry limit, optional RTS/CTS, and per-node FIFO transmit queues of
+// bounded capacity (50 packets by default, the "standard MAC buffer" the
+// paper calls out).
+//
+// Two properties matter to EZ-Flow and are first-class here:
+//
+//   - Each node can maintain several transmit queues (one per successor
+//     plus one for self-originated traffic, as §3.1 of the paper requires),
+//     and each queue carries its own CWmin that an external controller may
+//     change at any time — the only control surface EZ-Flow uses, mirroring
+//     the MadWifi iwconfig knob. An optional hardware cap reproduces the
+//     testbed's 2^10 ceiling.
+//
+//   - Every frame decoded at a node is passed to promiscuous taps
+//     (monitor mode), which is how the Buffer Occupancy Estimator overhears
+//     the successor's forwarding without message passing.
+package mac
+
+import (
+	"fmt"
+
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Timing constants for IEEE 802.11b (long preamble handled by phy).
+const (
+	SlotTime = 20 * sim.Microsecond
+	SIFS     = 10 * sim.Microsecond
+	DIFS     = SIFS + 2*SlotTime // 50 us
+)
+
+// Default contention and queueing parameters.
+const (
+	// DefaultCWmin is the standard 802.11b minimum contention window.
+	DefaultCWmin = 32
+	// RetryCWmax bounds the exponential retry backoff.
+	RetryCWmax = 1024
+	// AbsoluteCWmax is the largest value any contention window may take
+	// (the paper's maxcw = 2^15).
+	AbsoluteCWmax = 1 << 15
+	// DefaultRetryLimit is the number of transmission attempts before a
+	// frame is dropped.
+	DefaultRetryLimit = 7
+	// DefaultQueueCap is the standard MAC buffer of 50 packets.
+	DefaultQueueCap = 50
+)
+
+// Config parameterises a MAC instance.
+type Config struct {
+	CWmin      int  // initial per-queue CWmin (power of two)
+	RetryLimit int  // attempts before dropping
+	QueueCap   int  // per-queue capacity in packets
+	UseRTSCTS  bool // enable the RTS/CTS exchange (off in the paper)
+	// HardwareCWCap, if non-zero, silently clamps any CWmin set on a
+	// queue, reproducing the MadWifi 2^10 limitation of §4.1.
+	HardwareCWCap int
+}
+
+// DefaultConfig returns the paper's MAC settings.
+func DefaultConfig() Config {
+	return Config{
+		CWmin:      DefaultCWmin,
+		RetryLimit: DefaultRetryLimit,
+		QueueCap:   DefaultQueueCap,
+	}
+}
+
+// DeliverFunc receives packets whose MAC destination is this node.
+type DeliverFunc func(p *pkt.Packet, from pkt.NodeID)
+
+// TapFunc observes every frame decoded at this node (monitor mode).
+type TapFunc func(f *pkt.Frame, ci pkt.CaptureInfo)
+
+// TxNotifyFunc observes every data frame this node puts on the air
+// (first attempt only, not retries). EZ-Flow's BOE registers one to record
+// sent identifiers exactly when they are truly transmitted physically.
+type TxNotifyFunc func(f *pkt.Frame)
+
+// DropFunc observes packets dropped by this MAC with a reason.
+type DropFunc func(p *pkt.Packet, reason DropReason)
+
+// DropReason explains a packet drop.
+type DropReason int
+
+const (
+	DropQueueOverflow DropReason = iota
+	DropRetryExceeded
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueOverflow:
+		return "queue-overflow"
+	case DropRetryExceeded:
+		return "retry-exceeded"
+	default:
+		return "unknown"
+	}
+}
+
+// Queue is a bounded FIFO transmit queue with its own CWmin and AIFS —
+// the two knobs IEEE 802.11e EDCA differentiates access categories by,
+// which the paper's §7 extension repurposes as per-successor queues.
+type Queue struct {
+	mac       *MAC
+	id        int
+	next      pkt.NodeID // MAC next hop for everything in this queue
+	buf       []*pkt.Packet
+	cwMin     int
+	aifsSlots int // idle slots after SIFS before backoff (2 = legacy DIFS)
+
+	// Stats
+	Enqueued  uint64
+	Dropped   uint64
+	Dequeued  uint64
+	PeakDepth int
+}
+
+// NextHop reports the queue's MAC next hop.
+func (q *Queue) NextHop() pkt.NodeID { return q.next }
+
+// Len reports the instantaneous queue depth (the b_k of the paper).
+func (q *Queue) Len() int { return len(q.buf) }
+
+// CWmin reports the queue's current minimum contention window.
+func (q *Queue) CWmin() int { return q.cwMin }
+
+// AIFSSlots reports the queue's arbitration inter-frame space in slots
+// after SIFS (2 corresponds to the legacy DIFS).
+func (q *Queue) AIFSSlots() int { return q.aifsSlots }
+
+// SetAIFSSlots sets the queue's AIFS in slots after SIFS; values below 1
+// are clamped to 1 (802.11e forbids shorter-than-PIFS data access).
+func (q *Queue) SetAIFSSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.aifsSlots = n
+}
+
+// ifs is the inter-frame space this queue defers before backoff.
+func (q *Queue) ifs() sim.Time {
+	return SIFS + sim.Time(q.aifsSlots)*SlotTime
+}
+
+// SetCWmin updates the queue's minimum contention window, clamping to the
+// hardware cap if one is configured and to the absolute bound 2^15.
+// Values below 1 are rejected. This is the only knob EZ-Flow turns.
+func (q *Queue) SetCWmin(cw int) {
+	if cw < 1 {
+		cw = 1
+	}
+	if cw > AbsoluteCWmax {
+		cw = AbsoluteCWmax
+	}
+	if cap := q.mac.cfg.HardwareCWCap; cap > 0 && cw > cap {
+		cw = cap
+	}
+	q.cwMin = cw
+}
+
+// Enqueue appends p; it reports false (and counts a drop) on overflow.
+func (q *Queue) Enqueue(p *pkt.Packet) bool {
+	if len(q.buf) >= q.mac.cfg.QueueCap {
+		q.Dropped++
+		q.mac.notifyDrop(p, DropQueueOverflow)
+		return false
+	}
+	q.buf = append(q.buf, p)
+	q.Enqueued++
+	if len(q.buf) > q.PeakDepth {
+		q.PeakDepth = len(q.buf)
+	}
+	q.mac.kick()
+	return true
+}
+
+func (q *Queue) head() *pkt.Packet {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return q.buf[0]
+}
+
+func (q *Queue) pop() *pkt.Packet {
+	p := q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	q.Dequeued++
+	return p
+}
+
+// txState enumerates the transmitter's DCF state.
+type txState int
+
+const (
+	stIdle      txState = iota // nothing to send
+	stDefer                    // waiting for the medium + DIFS + backoff
+	stCountdown                // backoff slots actively counting down
+	stTxData                   // data (or RTS) frame on the air
+	stWaitCTS                  // RTS sent, waiting for CTS
+	stWaitAck                  // data sent, waiting for ACK
+	stTxCtl                    // sending a control response (ACK/CTS)
+)
+
+// MAC is one station's 802.11 DCF instance.
+type MAC struct {
+	id  pkt.NodeID
+	eng *sim.Engine
+	ch  *phy.Channel
+	cfg Config
+
+	queues  []*Queue
+	rr      int // round-robin cursor over queues
+	deliver DeliverFunc
+	taps    []TapFunc
+	txHooks []TxNotifyFunc
+	drops   []DropFunc
+
+	state      txState
+	busyMedium bool
+	useEIFS    bool     // defer EIFS (not DIFS) after an erroneous reception
+	slots      int      // backoff slots remaining
+	cntStart   sim.Time // when the current countdown began
+	cntIFS     sim.Time // the inter-frame space used by this countdown
+	timer      *sim.Event
+	cur        *Queue   // queue that owns the current attempt
+	attempts   int      // attempts for the head frame of cur
+	retryCW    int      // current retry contention window
+	navUntil   sim.Time // virtual carrier sense (RTS/CTS)
+	pendingCtl *pkt.Frame
+	lastSeq    map[pkt.NodeID]map[pkt.FlowID]uint64 // duplicate filter
+
+	// Stats
+	TxData    uint64
+	TxRetries uint64
+	TxAcked   uint64
+	TxFailed  uint64
+	RxData    uint64
+	RxDup     uint64
+}
+
+// New creates a MAC for node id at pos, registering it on the channel.
+func New(eng *sim.Engine, ch *phy.Channel, id pkt.NodeID, pos phy.Position, cfg Config) *MAC {
+	if cfg.CWmin <= 0 {
+		cfg.CWmin = DefaultCWmin
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = DefaultRetryLimit
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	m := &MAC{
+		id:      id,
+		eng:     eng,
+		ch:      ch,
+		cfg:     cfg,
+		lastSeq: make(map[pkt.NodeID]map[pkt.FlowID]uint64),
+	}
+	ch.AddNode(id, pos, m)
+	return m
+}
+
+// ID reports the node id.
+func (m *MAC) ID() pkt.NodeID { return m.id }
+
+// Config returns the MAC configuration.
+func (m *MAC) Config() Config { return m.cfg }
+
+// OnDeliver sets the callback for packets MAC-addressed to this node.
+func (m *MAC) OnDeliver(f DeliverFunc) { m.deliver = f }
+
+// AddTap registers a promiscuous tap (monitor mode).
+func (m *MAC) AddTap(t TapFunc) { m.taps = append(m.taps, t) }
+
+// AddTxNotify registers an on-air transmit observer.
+func (m *MAC) AddTxNotify(t TxNotifyFunc) { m.txHooks = append(m.txHooks, t) }
+
+// AddDropHook registers a drop observer.
+func (m *MAC) AddDropHook(d DropFunc) { m.drops = append(m.drops, d) }
+
+func (m *MAC) notifyDrop(p *pkt.Packet, r DropReason) {
+	for _, d := range m.drops {
+		d(p, r)
+	}
+}
+
+// NewQueue creates a transmit queue toward next with the MAC's default
+// CWmin and the legacy DIFS arbitration space. Queues are served in
+// round-robin order.
+func (m *MAC) NewQueue(next pkt.NodeID) *Queue {
+	q := &Queue{mac: m, id: len(m.queues), next: next, cwMin: m.cfg.CWmin, aifsSlots: 2}
+	m.queues = append(m.queues, q)
+	return q
+}
+
+// Queues returns all transmit queues.
+func (m *MAC) Queues() []*Queue { return m.queues }
+
+// QueueTo returns the first queue whose next hop is next, or nil.
+func (m *MAC) QueueTo(next pkt.NodeID) *Queue {
+	for _, q := range m.queues {
+		if q.next == next {
+			return q
+		}
+	}
+	return nil
+}
+
+// TotalQueued reports the number of packets buffered across all queues.
+func (m *MAC) TotalQueued() int {
+	n := 0
+	for _, q := range m.queues {
+		n += len(q.buf)
+	}
+	return n
+}
+
+// --- phy.Radio implementation -------------------------------------------
+
+// CarrierBusy implements phy.Radio.
+func (m *MAC) CarrierBusy(busy bool) {
+	m.busyMedium = busy
+	if busy {
+		m.freeze()
+		return
+	}
+	m.resume()
+}
+
+// Receive implements phy.Radio: frames MAC-addressed to this node.
+func (m *MAC) Receive(f *pkt.Frame) {
+	switch f.Type {
+	case pkt.FrameData:
+		m.rxData(f)
+	case pkt.FrameAck:
+		m.rxAck(f)
+	case pkt.FrameRTS:
+		m.rxRTS(f)
+	case pkt.FrameCTS:
+		m.rxCTS(f)
+	}
+}
+
+// ReceiveError implements phy.Radio: a decodable frame was destroyed by a
+// collision, so the next channel access defers EIFS instead of DIFS.
+func (m *MAC) ReceiveError() { m.useEIFS = true }
+
+// Overhear implements phy.Radio: every decoded frame, for taps and NAV.
+func (m *MAC) Overhear(f *pkt.Frame, ci pkt.CaptureInfo) {
+	// A correctly decoded frame resynchronises the station: EIFS no
+	// longer applies (IEEE 802.11 §9.2.3.4).
+	m.useEIFS = false
+	// Virtual carrier sense from overheard RTS/CTS addressed elsewhere.
+	if (f.Type == pkt.FrameRTS || f.Type == pkt.FrameCTS) && f.TxDst != m.id {
+		if until := m.eng.Now() + f.NAV; until > m.navUntil {
+			m.navUntil = until
+		}
+	}
+	for _, t := range m.taps {
+		t(f, ci)
+	}
+}
+
+// --- receive paths --------------------------------------------------------
+
+func (m *MAC) rxData(f *pkt.Frame) {
+	// Always acknowledge a correctly decoded unicast data frame, even a
+	// duplicate (the original ACK may have been lost).
+	m.scheduleCtl(&pkt.Frame{Type: pkt.FrameAck, TxSrc: m.id, TxDst: f.TxSrc})
+	p := f.Payload
+	if p == nil {
+		return
+	}
+	flows, ok := m.lastSeq[f.TxSrc]
+	if !ok {
+		flows = make(map[pkt.FlowID]uint64)
+		m.lastSeq[f.TxSrc] = flows
+	}
+	if last, seen := flows[p.Flow]; seen && last == p.Seq {
+		m.RxDup++
+		return
+	}
+	flows[p.Flow] = p.Seq
+	m.RxData++
+	if m.deliver != nil {
+		m.deliver(p, f.TxSrc)
+	}
+}
+
+func (m *MAC) rxAck(f *pkt.Frame) {
+	if m.state != stWaitAck || m.cur == nil || f.TxSrc != m.cur.next {
+		return
+	}
+	m.timer.Cancel()
+	m.TxAcked++
+	p := m.cur.pop()
+	_ = p
+	m.cur = nil
+	m.attempts = 0
+	m.retryCW = 0
+	m.state = stIdle
+	m.kick()
+}
+
+func (m *MAC) rxRTS(f *pkt.Frame) {
+	if m.eng.Now() < m.navUntil {
+		return // our NAV says the medium is reserved; stay silent
+	}
+	nav := f.NAV - SIFS - m.ch.AirTime(pkt.CTSBytes)
+	if nav < 0 {
+		nav = 0
+	}
+	m.scheduleCtl(&pkt.Frame{Type: pkt.FrameCTS, TxSrc: m.id, TxDst: f.TxSrc, NAV: nav})
+}
+
+func (m *MAC) rxCTS(f *pkt.Frame) {
+	if m.state != stWaitCTS || m.cur == nil || f.TxSrc != m.cur.next {
+		return
+	}
+	m.timer.Cancel()
+	// Send the data frame after SIFS.
+	m.state = stTxCtl // transiently; sendData moves us to stTxData
+	m.eng.Schedule(SIFS, func() { m.sendData() })
+}
+
+// scheduleCtl queues a control response (ACK or CTS) to go out after SIFS.
+func (m *MAC) scheduleCtl(f *pkt.Frame) {
+	m.pendingCtl = f
+	m.eng.Schedule(SIFS, func() {
+		ctl := m.pendingCtl
+		m.pendingCtl = nil
+		if ctl == nil {
+			return
+		}
+		if m.state == stTxData || m.state == stTxCtl || m.state == stWaitCTS {
+			return // transmitter occupied; give up on the response
+		}
+		// A control response preempts any countdown in progress; the
+		// frozen backoff resumes afterwards.
+		prev := m.state
+		if prev == stCountdown {
+			m.freeze()
+			m.state = stDefer
+		}
+		saved := m.state
+		m.state = stTxCtl
+		end := m.ch.Transmit(m.id, ctl)
+		m.eng.ScheduleAt(end, func() {
+			if m.state == stTxCtl {
+				m.state = saved
+				if m.cur != nil || m.anyBacklog() {
+					if m.state == stIdle {
+						m.kick()
+					} else {
+						m.resume()
+					}
+				} else {
+					m.state = stIdle
+				}
+			}
+		})
+	})
+}
+
+// --- transmit path ---------------------------------------------------------
+
+// kick starts an access attempt if the transmitter is idle and traffic is
+// waiting.
+func (m *MAC) kick() {
+	if m.state != stIdle {
+		return
+	}
+	q := m.selectQueue()
+	if q == nil {
+		return
+	}
+	m.cur = q
+	m.attempts = 0
+	m.retryCW = q.cwMin
+	m.beginContention()
+}
+
+// selectQueue picks the next non-empty queue in round-robin order.
+func (m *MAC) selectQueue() *Queue {
+	n := len(m.queues)
+	for i := 0; i < n; i++ {
+		q := m.queues[(m.rr+i)%n]
+		if len(q.buf) > 0 {
+			m.rr = (m.rr + i + 1) % n
+			return q
+		}
+	}
+	return nil
+}
+
+func (m *MAC) anyBacklog() bool {
+	for _, q := range m.queues {
+		if len(q.buf) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// beginContention draws a fresh backoff and starts deferring.
+func (m *MAC) beginContention() {
+	cw := m.retryCW
+	if cw < 1 {
+		cw = 1
+	}
+	m.slots = m.eng.Uniform(cw)
+	m.state = stDefer
+	m.resume()
+}
+
+// resume (re)starts the DIFS + backoff countdown if the medium allows.
+func (m *MAC) resume() {
+	if m.state != stDefer && m.state != stCountdown {
+		return
+	}
+	if m.busyMedium {
+		m.state = stDefer
+		return
+	}
+	if m.timer.Pending() {
+		return
+	}
+	ifs := DIFS
+	if m.cur != nil {
+		ifs = m.cur.ifs()
+	}
+	if m.useEIFS {
+		ifs = SIFS + m.ch.AirTime(pkt.AckBytes) + DIFS // EIFS
+	}
+	wait := ifs + sim.Time(m.slots)*SlotTime
+	if nav := m.navUntil - m.eng.Now(); nav > 0 {
+		wait += nav
+	}
+	m.state = stCountdown
+	m.cntStart = m.eng.Now()
+	m.cntIFS = ifs
+	m.timer = m.eng.Schedule(wait, func() { m.accessWon() })
+}
+
+// freeze suspends the countdown, crediting fully elapsed slots.
+func (m *MAC) freeze() {
+	if m.state != stCountdown {
+		return
+	}
+	m.timer.Cancel()
+	elapsed := m.eng.Now() - m.cntStart
+	if elapsed > m.cntIFS {
+		done := int((elapsed - m.cntIFS) / SlotTime)
+		if done > m.slots {
+			done = m.slots
+		}
+		m.slots -= done
+	}
+	m.state = stDefer
+}
+
+// accessWon fires when DIFS+backoff elapsed with an idle medium.
+func (m *MAC) accessWon() {
+	if m.state != stCountdown {
+		return
+	}
+	m.slots = 0
+	if m.cur == nil || m.cur.head() == nil {
+		m.state = stIdle
+		m.kick()
+		return
+	}
+	if m.cfg.UseRTSCTS {
+		m.sendRTS()
+		return
+	}
+	m.sendData()
+}
+
+func (m *MAC) sendData() {
+	p := m.cur.head()
+	f := &pkt.Frame{
+		Type:    pkt.FrameData,
+		TxSrc:   m.id,
+		TxDst:   m.cur.next,
+		Payload: p,
+		Retry:   m.attempts > 0,
+	}
+	m.attempts++
+	m.TxData++
+	if m.attempts > 1 {
+		m.TxRetries++
+	} else {
+		for _, h := range m.txHooks {
+			h(f)
+		}
+	}
+	m.state = stTxData
+	end := m.ch.Transmit(m.id, f)
+	ackTime := m.ch.AirTime(pkt.AckBytes)
+	timeout := (end - m.eng.Now()) + SIFS + ackTime + SlotTime
+	m.eng.ScheduleAt(end, func() {
+		if m.state == stTxData {
+			m.state = stWaitAck
+		}
+	})
+	m.timer = m.eng.Schedule(timeout, func() { m.ackTimeout() })
+}
+
+func (m *MAC) sendRTS() {
+	dataAir := m.ch.AirTime(m.cur.head().Bytes + pkt.MACHeaderBytes)
+	nav := 3*SIFS + m.ch.AirTime(pkt.CTSBytes) + dataAir + m.ch.AirTime(pkt.AckBytes)
+	f := &pkt.Frame{Type: pkt.FrameRTS, TxSrc: m.id, TxDst: m.cur.next, NAV: nav}
+	m.attempts++
+	m.state = stTxData
+	end := m.ch.Transmit(m.id, f)
+	timeout := (end - m.eng.Now()) + SIFS + m.ch.AirTime(pkt.CTSBytes) + SlotTime
+	m.eng.ScheduleAt(end, func() {
+		if m.state == stTxData {
+			m.state = stWaitCTS
+		}
+	})
+	m.timer = m.eng.Schedule(timeout, func() { m.ackTimeout() })
+}
+
+// ackTimeout handles a missing ACK (or CTS): exponential backoff and retry,
+// dropping the frame once the retry limit is reached.
+func (m *MAC) ackTimeout() {
+	if m.state != stWaitAck && m.state != stWaitCTS && m.state != stTxData {
+		return
+	}
+	if m.attempts >= m.cfg.RetryLimit {
+		m.TxFailed++
+		p := m.cur.pop()
+		m.notifyDrop(p, DropRetryExceeded)
+		m.cur = nil
+		m.attempts = 0
+		m.state = stIdle
+		m.kick()
+		return
+	}
+	m.retryCW *= 2
+	if m.retryCW > RetryCWmax {
+		m.retryCW = RetryCWmax
+	}
+	if base := m.cur.cwMin; m.retryCW < base {
+		m.retryCW = base
+	}
+	m.beginContention()
+}
+
+func (m *MAC) String() string {
+	return fmt.Sprintf("mac(%v state=%d queued=%d)", m.id, m.state, m.TotalQueued())
+}

@@ -1,0 +1,376 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newWalk4(ez bool) *Walk {
+	cfg := DefaultConfig()
+	cfg.EZEnabled = ez
+	rng := rand.New(rand.NewSource(1))
+	return NewWalk(cfg, rng.Float64)
+}
+
+func TestRegionClassification(t *testing.T) {
+	w := newWalk4(false)
+	cases := []struct {
+		b1, b2, b3 int
+		want       string
+	}{
+		{0, 0, 0, "A"}, {1, 0, 0, "B"}, {0, 1, 0, "C"}, {0, 0, 1, "D"},
+		{1, 1, 0, "E"}, {1, 0, 1, "F"}, {0, 1, 1, "G"}, {1, 1, 1, "H"},
+		{5, 0, 9, "F"}, {3, 3, 3, "H"},
+	}
+	for _, c := range cases {
+		w.B[1], w.B[2], w.B[3] = c.b1, c.b2, c.b3
+		if got := w.Region(); got != c.want {
+			t.Errorf("region(%d,%d,%d) = %s, want %s", c.b1, c.b2, c.b3, got, c.want)
+		}
+	}
+}
+
+// regionState returns a representative buffer state for each region.
+func regionState(r string) [3]int {
+	switch r {
+	case "A":
+		return [3]int{0, 0, 0}
+	case "B":
+		return [3]int{2, 0, 0}
+	case "C":
+		return [3]int{0, 2, 0}
+	case "D":
+		return [3]int{0, 0, 2}
+	case "E":
+		return [3]int{2, 2, 0}
+	case "F":
+		return [3]int{2, 0, 2}
+	case "G":
+		return [3]int{0, 2, 2}
+	default:
+		return [3]int{2, 2, 2}
+	}
+}
+
+// TestPatternsMatchTable4 is the key validation of the analysis module:
+// the generic recursive construction must reproduce the closed-form
+// distribution of the paper's Table 4 in every region, for several
+// contention-window vectors including asymmetric ones.
+func TestPatternsMatchTable4(t *testing.T) {
+	cwVectors := [][]int{
+		{32, 32, 32, 32},
+		{128, 16, 16, 16},
+		{2048, 16, 32, 64},
+		{16, 1024, 16, 512},
+	}
+	regions := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for _, cw := range cwVectors {
+		for _, r := range regions {
+			w := newWalk4(false)
+			copy(w.CW, cw)
+			st := regionState(r)
+			w.B[1], w.B[2], w.B[3] = st[0], st[1], st[2]
+			got := w.Patterns()
+			want := Table4(r, cw)
+			if err := Validate(got); err != nil {
+				t.Fatalf("cw=%v region %s: %v", cw, r, err)
+			}
+			if err := Validate(want); err != nil {
+				t.Fatalf("Table4 cw=%v region %s: %v", cw, r, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cw=%v region %s: %d patterns, Table 4 has %d\ngot:\n%swant:\n%s",
+					cw, r, len(got), len(want), Describe(got), Describe(want))
+			}
+			wantByZ := make(map[string]float64, len(want))
+			for _, p := range want {
+				wantByZ[zKey(p.Z)] = p.P
+			}
+			for _, p := range got {
+				wp, ok := wantByZ[zKey(p.Z)]
+				if !ok {
+					t.Fatalf("cw=%v region %s: pattern z=%v not in Table 4",
+						cw, r, p.Z)
+				}
+				if math.Abs(p.P-wp) > 1e-12 {
+					t.Fatalf("cw=%v region %s z=%v: p=%v, Table 4 says %v",
+						cw, r, p.Z, p.P, wp)
+				}
+			}
+		}
+	}
+}
+
+func zKey(z []int) string {
+	s := make([]byte, len(z))
+	for i, v := range z {
+		s[i] = byte('0' + v)
+	}
+	return string(s)
+}
+
+func TestStepConservesNonNegativity(t *testing.T) {
+	w := newWalk4(true)
+	for i := 0; i < 100000; i++ {
+		w.Step()
+		for j := 1; j < w.K; j++ {
+			if w.B[j] < 0 {
+				t.Fatalf("negative buffer at step %d: %v", i, w.B)
+			}
+		}
+	}
+	if w.Steps != 100000 {
+		t.Fatal("step counter")
+	}
+}
+
+func TestFixedCW4HopUnstable(t *testing.T) {
+	// Theorem 2 of [9]: with equal fixed contention windows the 4-hop
+	// chain is unstable — b1 drifts to infinity.
+	w := newWalk4(false)
+	st := w.Run(200000)
+	if st.MaxBacklog < 500 {
+		t.Fatalf("fixed-cw walk looks stable (max backlog %d); expected unbounded growth", st.MaxBacklog)
+	}
+}
+
+func TestEZFlow4HopStable(t *testing.T) {
+	// Theorem 1 of the paper: EZ-Flow keeps the queues almost surely
+	// finite. Over a long trajectory the backlog must stay bounded well
+	// below what the unstable walk reaches.
+	w := newWalk4(true)
+	st := w.Run(200000)
+	if st.MaxBacklog >= 500 {
+		t.Fatalf("EZ-Flow walk unstable: max backlog %d", st.MaxBacklog)
+	}
+	if st.MeanBacklog > 2*float64(DefaultConfig().BMax)+10 {
+		t.Fatalf("EZ-Flow mean backlog %v too high", st.MeanBacklog)
+	}
+	// The source's window must have been pushed up relative to relays.
+	if st.FinalCW[0] < st.FinalCW[2] {
+		t.Fatalf("source cw %d below relay cw %d", st.FinalCW[0], st.FinalCW[2])
+	}
+}
+
+func TestEZFlowStableForLongerChains(t *testing.T) {
+	// The paper extends Theorem 1 to any K >= 4.
+	for _, k := range []int{5, 6, 8} {
+		cfg := DefaultConfig()
+		cfg.K = k
+		rng := rand.New(rand.NewSource(int64(k)))
+		w := NewWalk(cfg, rng.Float64)
+		st := w.Run(150000)
+		if st.MaxBacklog >= 800 {
+			t.Fatalf("K=%d: EZ-Flow walk unstable (max backlog %d)", k, st.MaxBacklog)
+		}
+	}
+}
+
+func TestDriftNegativeUnderStabilizingCW(t *testing.T) {
+	// With the penalty-style vector cw = [2^11, 16, 16, 16] (what EZ-Flow
+	// converges to, §5.2), the one-step Lyapunov drift must be negative in
+	// the regions the proof handles with k=1 — F and H.
+	drift := CheckDrift([]int{1 << 11, 16, 16, 16}, 3)
+	if drift["H"] >= 0 {
+		t.Fatalf("drift in H = %v, want negative", drift["H"])
+	}
+	if drift["F"] >= 0 {
+		t.Fatalf("drift in F = %v, want negative", drift["F"])
+	}
+	// Region A (everything empty) necessarily has positive drift: the
+	// saturated source injects.
+	if drift["A"] <= 0 {
+		t.Fatalf("drift in A = %v, want positive", drift["A"])
+	}
+}
+
+func TestFosterConditionPerRegion(t *testing.T) {
+	// Numerical check of condition (6) of Foster's theorem with the
+	// region-dependent k of the paper's proof: from a representative
+	// state of every region outside S, the k(region)-step expected drift
+	// of h must be negative under the stabilising window vector.
+	rng := rand.New(rand.NewSource(23))
+	for region, k := range FosterK {
+		w := newWalk4(false)
+		copy(w.CW, []int{1 << 11, 16, 16, 16})
+		st := regionState(region)
+		w.B[1], w.B[2], w.B[3] = st[0], st[1], st[2]
+		d := w.DriftK(k, 20000, rng.Float64)
+		if d >= 0 {
+			t.Errorf("region %s: %d-step drift %v, want negative", region, k, d)
+		}
+	}
+}
+
+func TestDriftPositiveUnderEqualCW(t *testing.T) {
+	// With equal windows the walk gains mass in expectation in at least
+	// one interior region — the instability of [9].
+	drift := CheckDrift([]int{32, 32, 32, 32}, 3)
+	pos := false
+	for _, r := range []string{"B", "E", "F", "H"} {
+		if drift[r] > 0 {
+			pos = true
+		}
+	}
+	if !pos {
+		t.Fatalf("no positive drift region under equal cw: %v", drift)
+	}
+}
+
+func TestRegionVisitsRecorded(t *testing.T) {
+	w := newWalk4(true)
+	st := w.Run(10000)
+	total := uint64(0)
+	for _, v := range st.RegionVisits {
+		total += v
+	}
+	if total != 10000 {
+		t.Fatalf("region visits sum to %d, want 10000", total)
+	}
+}
+
+func TestUpdateCWBounds(t *testing.T) {
+	w := newWalk4(true)
+	if got := w.updateCW(DefaultConfig().MaxCW, 1e9); got != DefaultConfig().MaxCW {
+		t.Fatal("cw exceeded MaxCW")
+	}
+	if got := w.updateCW(DefaultConfig().MinCW, 0); got != DefaultConfig().MinCW {
+		t.Fatal("cw fell below MinCW")
+	}
+	if got := w.updateCW(64, 10); got != 64 {
+		t.Fatal("cw changed inside the hysteresis band")
+	}
+}
+
+func TestNewWalkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("K=1 walk did not panic")
+		}
+	}()
+	NewWalk(Config{K: 1}, func() float64 { return 0 })
+}
+
+// Property: pattern probabilities always form a distribution, whatever the
+// buffer state and contention windows.
+func TestPropertyPatternsAreDistribution(t *testing.T) {
+	f := func(b1, b2, b3 uint8, c0, c1, c2, c3 uint8) bool {
+		w := newWalk4(false)
+		w.B[1], w.B[2], w.B[3] = int(b1%10), int(b2%10), int(b3%10)
+		w.CW[0] = 16 << (c0 % 8)
+		w.CW[1] = 16 << (c1 % 8)
+		w.CW[2] = 16 << (c2 % 8)
+		w.CW[3] = 16 << (c3 % 8)
+		ps := w.Patterns()
+		if Validate(ps) != nil {
+			return false
+		}
+		// No pattern may serve an empty queue.
+		for _, p := range ps {
+			for i := 1; i < 4; i++ {
+				if p.Z[i] == 1 && w.B[i] == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Drift always lies in [-1, 1] (one packet in, one out, per slot).
+func TestPropertyDriftBounded(t *testing.T) {
+	f := func(b1, b2, b3 uint8) bool {
+		w := newWalk4(false)
+		w.B[1], w.B[2], w.B[3] = int(b1%20), int(b2%20), int(b3%20)
+		d := w.Drift()
+		return d >= -1-1e-12 && d <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(19))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedCWUnstableForLongerChains(t *testing.T) {
+	// [9] generalised: for K >= 4 the fixed-equal-window chain
+	// accumulates far more backlog than the EZ-Flow-controlled one on the
+	// same horizon. (The divergence rate shrinks with K — longer chains
+	// pipeline more transmissions in parallel — so the check is relative
+	// to the controlled walk rather than an absolute bound.)
+	for _, k := range []int{5, 6} {
+		run := func(ez bool) RunStats {
+			cfg := DefaultConfig()
+			cfg.K = k
+			cfg.EZEnabled = ez
+			rng := rand.New(rand.NewSource(int64(k) * 7))
+			return NewWalk(cfg, rng.Float64).Run(150000)
+		}
+		fixed, ezst := run(false), run(true)
+		if fixed.MaxBacklog < 3*ezst.MaxBacklog {
+			t.Errorf("K=%d: fixed max %d not clearly above EZ-flow max %d",
+				k, fixed.MaxBacklog, ezst.MaxBacklog)
+		}
+		if fixed.MeanBacklog < 2*ezst.MeanBacklog {
+			t.Errorf("K=%d: fixed mean %.1f not clearly above EZ-flow mean %.1f",
+				k, fixed.MeanBacklog, ezst.MeanBacklog)
+		}
+	}
+}
+
+// Property: in every pattern of every K, successful links are pairwise at
+// least 3 hops apart — the 2-hop interference model of §6.1 (z_i = 1
+// requires all of i's 2-hop vicinity silent).
+func TestPropertySuccessSpacing(t *testing.T) {
+	f := func(kRaw, b1, b2, b3, b4, b5 uint8) bool {
+		k := 4 + int(kRaw%5) // K in 4..8
+		cfg := DefaultConfig()
+		cfg.K = k
+		cfg.EZEnabled = false
+		w := NewWalk(cfg, func() float64 { return 0 })
+		bs := []uint8{b1, b2, b3, b4, b5}
+		for i := 1; i < k && i-1 < len(bs); i++ {
+			w.B[i] = int(bs[i-1] % 4)
+		}
+		for _, p := range w.Patterns() {
+			var idx []int
+			for i, z := range p.Z {
+				if z == 1 {
+					idx = append(idx, i)
+				}
+			}
+			for a := 0; a < len(idx); a++ {
+				for b := a + 1; b < len(idx); b++ {
+					if idx[b]-idx[a] < 3 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftKZeroSteps(t *testing.T) {
+	w := newWalk4(false)
+	w.B[1] = 3
+	if d := w.DriftK(0, 100, func() float64 { return 0 }); d != 0 {
+		t.Fatalf("0-step drift = %v, want 0", d)
+	}
+	// DriftK must not mutate the walk.
+	w2 := newWalk4(false)
+	w2.B[1], w2.B[2], w2.B[3] = 2, 2, 2
+	before := append([]int(nil), w2.B...)
+	w2.DriftK(5, 50, rand.New(rand.NewSource(1)).Float64)
+	for i := range before {
+		if w2.B[i] != before[i] {
+			t.Fatal("DriftK mutated the walk state")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package mesh composes PHY and MAC stations into a wireless mesh backhaul:
+// node placement, static routing (the NOAH-style agent the paper uses to
+// factor routing dynamics out of the study), per-flow paths, and the relay
+// forwarding logic with one MAC transmit queue per successor plus a separate
+// queue for self-originated traffic, as §3.1 of the paper requires so that
+// forwarded traffic is never starved by local traffic.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Node is one mesh station: a MAC plus the network-layer forwarding state.
+type Node struct {
+	ID  pkt.NodeID
+	Pos phy.Position
+	MAC *mac.MAC
+
+	mesh *Mesh
+	// successor queues: one MAC queue per distinct next hop of forwarded
+	// traffic, plus one per next hop for local (source) traffic.
+	fwdQ map[pkt.NodeID]*mac.Queue
+	srcQ map[pkt.NodeID]*mac.Queue
+}
+
+// Engine returns the simulation engine driving this node's mesh.
+func (n *Node) Engine() *sim.Engine { return n.mesh.Eng }
+
+// ForwardQueue returns the forwarding queue toward next, creating it if
+// needed.
+func (n *Node) ForwardQueue(next pkt.NodeID) *mac.Queue {
+	q, ok := n.fwdQ[next]
+	if !ok {
+		q = n.MAC.NewQueue(next)
+		n.fwdQ[next] = q
+	}
+	return q
+}
+
+// SourceQueue returns the local-traffic queue toward next, creating it if
+// needed. It is distinct from the forwarding queue toward the same
+// successor.
+func (n *Node) SourceQueue(next pkt.NodeID) *mac.Queue {
+	q, ok := n.srcQ[next]
+	if !ok {
+		q = n.MAC.NewQueue(next)
+		n.srcQ[next] = q
+	}
+	return q
+}
+
+// Queues returns every MAC queue of the node.
+func (n *Node) Queues() []*mac.Queue { return n.MAC.Queues() }
+
+// RelayDepth reports the total number of packets waiting in forwarding
+// queues (the paper's b_k for relay k).
+func (n *Node) RelayDepth() int {
+	d := 0
+	for _, q := range n.fwdQ {
+		d += q.Len()
+	}
+	return d
+}
+
+// Mesh is the whole backhaul: channel, nodes, flows, and sinks.
+type Mesh struct {
+	Eng *sim.Engine
+	Ch  *phy.Channel
+
+	nodes map[pkt.NodeID]*Node
+	// routes[flow] is the full node path source..destination.
+	routes map[pkt.FlowID][]pkt.NodeID
+	// nextHop[flow][node] -> successor on that flow.
+	nextHop map[pkt.FlowID]map[pkt.NodeID]pkt.NodeID
+	sinks   []SinkFunc
+	macCfg  mac.Config
+}
+
+// SinkFunc observes every packet that reaches its final destination.
+type SinkFunc func(p *pkt.Packet, at sim.Time)
+
+// New creates an empty mesh over a fresh channel.
+func New(eng *sim.Engine, phyCfg phy.Config, macCfg mac.Config) *Mesh {
+	return &Mesh{
+		Eng:     eng,
+		Ch:      phy.NewChannel(eng, phyCfg),
+		nodes:   make(map[pkt.NodeID]*Node),
+		routes:  make(map[pkt.FlowID][]pkt.NodeID),
+		nextHop: make(map[pkt.FlowID]map[pkt.NodeID]pkt.NodeID),
+		macCfg:  macCfg,
+	}
+}
+
+// AddNode creates a station at pos.
+func (m *Mesh) AddNode(id pkt.NodeID, pos phy.Position) *Node {
+	if _, dup := m.nodes[id]; dup {
+		panic(fmt.Sprintf("mesh: duplicate node %v", id))
+	}
+	n := &Node{
+		ID:   id,
+		Pos:  pos,
+		MAC:  mac.New(m.Eng, m.Ch, id, pos, m.macCfg),
+		mesh: m,
+		fwdQ: make(map[pkt.NodeID]*mac.Queue),
+		srcQ: make(map[pkt.NodeID]*mac.Queue),
+	}
+	n.MAC.OnDeliver(func(p *pkt.Packet, from pkt.NodeID) { m.arrive(n, p) })
+	m.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given id, or nil.
+func (m *Mesh) Node(id pkt.NodeID) *Node { return m.nodes[id] }
+
+// Nodes returns all nodes sorted by id.
+func (m *Mesh) Nodes() []*Node {
+	out := make([]*Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddSink registers an observer of packets reaching their destination.
+func (m *Mesh) AddSink(s SinkFunc) { m.sinks = append(m.sinks, s) }
+
+// SetRoute installs the static path for a flow. The path must contain at
+// least two nodes, all previously added. Queues along the path are created
+// eagerly so controllers can attach before traffic starts.
+func (m *Mesh) SetRoute(flow pkt.FlowID, path []pkt.NodeID) {
+	if len(path) < 2 {
+		panic("mesh: route needs at least source and destination")
+	}
+	hops := make(map[pkt.NodeID]pkt.NodeID, len(path)-1)
+	for i := 0; i < len(path)-1; i++ {
+		cur, next := path[i], path[i+1]
+		n := m.nodes[cur]
+		if n == nil {
+			panic(fmt.Sprintf("mesh: route through unknown node %v", cur))
+		}
+		if m.nodes[next] == nil {
+			panic(fmt.Sprintf("mesh: route through unknown node %v", next))
+		}
+		hops[cur] = next
+		if i == 0 {
+			n.SourceQueue(next)
+		} else {
+			n.ForwardQueue(next)
+		}
+	}
+	m.routes[flow] = append([]pkt.NodeID(nil), path...)
+	m.nextHop[flow] = hops
+}
+
+// Route returns the installed path of a flow.
+func (m *Mesh) Route(flow pkt.FlowID) []pkt.NodeID { return m.routes[flow] }
+
+// Flows returns all flow ids with installed routes, sorted.
+func (m *Mesh) Flows() []pkt.FlowID {
+	out := make([]pkt.FlowID, 0, len(m.routes))
+	for f := range m.routes {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NextHop reports the successor of node on flow, with ok=false at (or off)
+// the destination.
+func (m *Mesh) NextHop(flow pkt.FlowID, node pkt.NodeID) (pkt.NodeID, bool) {
+	nh, ok := m.nextHop[flow][node]
+	return nh, ok
+}
+
+// Successor reports the node the given node forwards flow traffic to —
+// identical to NextHop but reads naturally at EZ-Flow call sites
+// (N_{k+1} of the paper).
+func (m *Mesh) Successor(flow pkt.FlowID, node pkt.NodeID) (pkt.NodeID, bool) {
+	return m.NextHop(flow, node)
+}
+
+// Inject enqueues a freshly generated packet at the source of its flow.
+// It reports false if the source queue overflowed.
+func (m *Mesh) Inject(p *pkt.Packet) bool {
+	n := m.nodes[p.Src]
+	if n == nil {
+		panic(fmt.Sprintf("mesh: inject at unknown node %v", p.Src))
+	}
+	next, ok := m.nextHop[p.Flow][p.Src]
+	if !ok {
+		panic(fmt.Sprintf("mesh: no route for %v at %v", p.Flow, p.Src))
+	}
+	return n.SourceQueue(next).Enqueue(p)
+}
+
+// arrive handles a packet delivered by the MAC to node n: sink it at the
+// final destination or forward it along the flow's path.
+func (m *Mesh) arrive(n *Node, p *pkt.Packet) {
+	if p.Dst == n.ID {
+		for _, s := range m.sinks {
+			s(p, m.Eng.Now())
+		}
+		return
+	}
+	next, ok := m.nextHop[p.Flow][n.ID]
+	if !ok {
+		// Mis-routed packet: no successor here. Drop silently; static
+		// routing makes this unreachable in practice.
+		return
+	}
+	n.ForwardQueue(next).Enqueue(p)
+}

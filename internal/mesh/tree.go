@@ -1,0 +1,94 @@
+// Tree topology: the downlink counterpart of the backhaul, used for the
+// paper's §7 extension. A gateway fans traffic out toward several leaf
+// access points; interior nodes forward to up to four successors, one MAC
+// queue (hence one CWmin) per successor — the 802.11e-style multi-queue
+// deployment the conclusion proposes, where each of the four EDCA queues
+// serves one successor.
+package mesh
+
+import (
+	"fmt"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// MaxSuccessors is the number of per-successor MAC queues available when
+// repurposing the four 802.11e access categories (§7).
+const MaxSuccessors = 4
+
+// Tree builds a complete tree of the given branching factor and depth with
+// the gateway N0 at the root, and installs one downlink flow from the
+// gateway to every leaf (flow ids 1..#leaves, left to right). Branching
+// must be between 2 and MaxSuccessors.
+//
+// Geometry: level k sits at y = k * DefaultHopDist; siblings are spread
+// horizontally so that parent-child links are within TX range while nodes
+// of different subtrees at the same level mostly do not decode each other.
+func Tree(eng *sim.Engine, branching, depth int, phyCfg phy.Config, macCfg mac.Config) *Mesh {
+	if branching < 2 || branching > MaxSuccessors {
+		panic(fmt.Sprintf("mesh: tree branching %d outside [2,%d]", branching, MaxSuccessors))
+	}
+	if depth < 1 {
+		panic("mesh: tree depth must be at least 1")
+	}
+	m := New(eng, phyCfg, macCfg)
+
+	// Number the nodes level by level: node i's children are
+	// i*branching+1 .. i*branching+branching.
+	total := 0
+	levelStart := make([]int, depth+2)
+	count := 1
+	for l := 0; l <= depth; l++ {
+		levelStart[l] = total
+		total += count
+		count *= branching
+	}
+	levelStart[depth+1] = total
+
+	// Recursive placement: each child sits one hop deeper with a
+	// horizontal offset that shrinks by the branching factor per level,
+	// so every parent-child link stays within TX range (offset <= 140 m,
+	// hop 200 m => distance <= 244 m) and sibling subtrees never overlap.
+	d := float64(DefaultHopDist)
+	spread0 := 280.0 / float64(branching-1)
+	var place func(id int, level int, x, spread float64)
+	place = func(id, level int, x, spread float64) {
+		m.AddNode(pkt.NodeID(id), phy.Position{X: x, Y: float64(level) * d})
+		if level == depth {
+			return
+		}
+		for j := 0; j < branching; j++ {
+			off := (float64(j) - float64(branching-1)/2) * spread
+			place(id*branching+1+j, level+1, x+off, spread/float64(branching))
+		}
+	}
+	place(0, 0, 0, spread0)
+
+	// One flow per leaf, routed root -> leaf through the parent chain.
+	leaf0 := levelStart[depth]
+	flow := pkt.FlowID(1)
+	for leaf := leaf0; leaf < levelStart[depth+1]; leaf++ {
+		var path []pkt.NodeID
+		for i := leaf; ; i = (i - 1) / branching {
+			path = append([]pkt.NodeID{pkt.NodeID(i)}, path...)
+			if i == 0 {
+				break
+			}
+		}
+		m.SetRoute(flow, path)
+		flow++
+	}
+	return m
+}
+
+// TreeLeaves reports the number of leaves of a (branching, depth) tree.
+func TreeLeaves(branching, depth int) int {
+	n := 1
+	for i := 0; i < depth; i++ {
+		n *= branching
+	}
+	return n
+}

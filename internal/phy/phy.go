@@ -1,0 +1,368 @@
+// Package phy models the shared wireless channel.
+//
+// The model is the one ns-2.33 implements for 802.11 at default power with
+// two-ray-ground propagation, which is what the paper's simulations use: a
+// node decodes a frame if the transmitter is within the transmission range
+// (250 m) and no other transmission overlaps the reception at the listener
+// within its interference range; a node senses the channel busy whenever any
+// transmitter within the carrier-sense range (550 m) is active. Because the
+// medium is broadcast, every completed reception is delivered not only to
+// the addressed MAC but also to every promiscuous tap in range — this is the
+// "free" information EZ-Flow's Buffer Occupancy Estimator lives on.
+//
+// Per-link erasure probabilities model the heterogeneous link qualities of
+// the paper's real testbed (Table 1): a loss applies to one receiver of one
+// transmission and does not disturb other listeners.
+package phy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Position is a node location in metres.
+type Position struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Config holds the channel parameters. The zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	TxRange    float64  // decode range in metres
+	CSRange    float64  // carrier-sense range in metres
+	BitRate    float64  // channel bit rate in bit/s
+	PreambleNS sim.Time // PLCP preamble+header duration
+	// CaptureRatio is the minimum signal-to-interference power ratio for
+	// a locked reception to survive an overlapping transmission (ns-2's
+	// CPThresh, 10 = 10 dB). Power follows the two-ray-ground d^-4 law,
+	// so an interferer twice as far as the signal source is 12 dB down
+	// and is captured over, while an interferer at equal distance (the
+	// hidden-terminal case) destroys the frame.
+	CaptureRatio float64
+	// PathLossExp is the path-loss exponent (4 for two-ray ground).
+	PathLossExp float64
+}
+
+// DefaultConfig mirrors the paper's ns-2 settings: 802.11b at 1 Mb/s,
+// 250 m transmission range, 550 m sensing range, long PLCP preamble,
+// two-ray-ground propagation with a 10 dB capture threshold.
+func DefaultConfig() Config {
+	return Config{
+		TxRange:      250,
+		CSRange:      550,
+		BitRate:      1e6,
+		PreambleNS:   192 * sim.Microsecond,
+		CaptureRatio: 10,
+		PathLossExp:  4,
+	}
+}
+
+// power is the received power (arbitrary units) at distance d.
+func (c Config) power(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return math.Pow(d, -c.PathLossExp)
+}
+
+// AirTime reports how long a frame of n bytes occupies the medium.
+func (c Config) AirTime(bytes int) sim.Time {
+	bits := float64(bytes * 8)
+	return c.PreambleNS + sim.Time(bits/c.BitRate*float64(sim.Second))
+}
+
+// Radio is the interface the MAC layer implements to receive PHY
+// indications.
+type Radio interface {
+	// CarrierBusy is called when the medium transitions busy/idle at this
+	// node's position.
+	CarrierBusy(busy bool)
+	// Receive delivers a frame that was decoded successfully and is
+	// MAC-addressed to this node (or broadcast).
+	Receive(f *pkt.Frame)
+	// Overhear delivers every frame decoded at this node regardless of MAC
+	// address — the promiscuous tap. Called after Receive for addressed
+	// frames.
+	Overhear(f *pkt.Frame, ci pkt.CaptureInfo)
+	// ReceiveError reports that a frame strong enough to decode was
+	// destroyed by a collision. 802.11 stations react by deferring EIFS
+	// instead of DIFS before their next access.
+	ReceiveError()
+}
+
+// transmission is an in-flight frame.
+type transmission struct {
+	src   pkt.NodeID
+	frame *pkt.Frame
+	start sim.Time
+	end   sim.Time
+}
+
+// node is the PHY-side state of one station.
+type node struct {
+	id     pkt.NodeID
+	pos    Position
+	radio  Radio
+	sensed int  // number of in-flight transmissions within CS range
+	busyTx bool // this node is currently transmitting
+	// reception tracking: the candidate frame currently being decoded and
+	// whether it has been corrupted by an overlapping transmission.
+	rx *reception
+}
+
+// reception is the state of a receiver locked onto one frame. ns-2
+// semantics: the first frame whose energy reaches a node locks its
+// receiver, even if it is too weak to decode (a "noise lock"); later
+// overlapping frames either are captured over (signal/interference >=
+// CaptureRatio) or corrupt the locked frame. The receiver never switches
+// to a later, stronger frame.
+type reception struct {
+	tx        *transmission
+	signal    float64 // received power of the locked frame
+	decodable bool    // within TxRange (above the receive threshold)
+	corrupted bool
+}
+
+// Channel is the shared medium connecting all nodes.
+type Channel struct {
+	cfg   Config
+	eng   *sim.Engine
+	nodes map[pkt.NodeID]*node
+	// order holds the nodes sorted by id. All broadcast iteration uses it
+	// so that same-instant event scheduling is deterministic (map
+	// iteration order would make runs diverge).
+	order  []*node
+	loss   map[linkKey]float64 // per directed link erasure probability
+	flight []*transmission
+
+	// Stats counts channel-level events for tests and experiments.
+	Stats ChannelStats
+}
+
+// ChannelStats aggregates medium-level counters.
+type ChannelStats struct {
+	Transmissions uint64
+	Decoded       uint64
+	Collisions    uint64
+	Erasures      uint64
+}
+
+type linkKey struct{ a, b pkt.NodeID }
+
+// NewChannel creates an empty channel over the given engine.
+func NewChannel(eng *sim.Engine, cfg Config) *Channel {
+	return &Channel{
+		cfg:   cfg,
+		eng:   eng,
+		nodes: make(map[pkt.NodeID]*node),
+		loss:  make(map[linkKey]float64),
+	}
+}
+
+// Config returns the channel configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// AddNode registers a station at pos with its MAC-layer radio. Adding the
+// same id twice panics: topologies are static for the lifetime of a run.
+func (c *Channel) AddNode(id pkt.NodeID, pos Position, r Radio) {
+	if _, dup := c.nodes[id]; dup {
+		panic(fmt.Sprintf("phy: duplicate node %v", id))
+	}
+	n := &node{id: id, pos: pos, radio: r}
+	c.nodes[id] = n
+	at := sort.Search(len(c.order), func(i int) bool { return c.order[i].id > id })
+	c.order = append(c.order, nil)
+	copy(c.order[at+1:], c.order[at:])
+	c.order[at] = n
+}
+
+// SetRadio rebinds the radio of an existing node (used by the MAC package
+// which creates the PHY entry before its own state).
+func (c *Channel) SetRadio(id pkt.NodeID, r Radio) {
+	n := c.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("phy: SetRadio for unknown node %v", id))
+	}
+	n.radio = r
+}
+
+// SetLinkLoss sets the erasure probability for the directed link a->b.
+// It models the residual frame error rate of a degraded real-world link.
+func (c *Channel) SetLinkLoss(a, b pkt.NodeID, p float64) {
+	if p < 0 || p > 1 {
+		panic("phy: loss probability out of range")
+	}
+	c.loss[linkKey{a, b}] = p
+}
+
+// LinkLoss reports the configured erasure probability for a->b.
+func (c *Channel) LinkLoss(a, b pkt.NodeID) float64 { return c.loss[linkKey{a, b}] }
+
+// Position reports a node's position.
+func (c *Channel) Position(id pkt.NodeID) Position { return c.nodes[id].pos }
+
+// InTxRange reports whether b can decode a's transmissions.
+func (c *Channel) InTxRange(a, b pkt.NodeID) bool {
+	na, nb := c.nodes[a], c.nodes[b]
+	return na.pos.Dist(nb.pos) <= c.cfg.TxRange
+}
+
+// InCSRange reports whether b senses a's transmissions.
+func (c *Channel) InCSRange(a, b pkt.NodeID) bool {
+	na, nb := c.nodes[a], c.nodes[b]
+	return na.pos.Dist(nb.pos) <= c.cfg.CSRange
+}
+
+// Busy reports whether the medium is sensed busy at node id, either because
+// a neighbour within carrier-sense range is transmitting or because the node
+// itself is.
+func (c *Channel) Busy(id pkt.NodeID) bool {
+	n := c.nodes[id]
+	return n.sensed > 0 || n.busyTx
+}
+
+// AirTime exposes the frame air time for the channel's bit rate.
+func (c *Channel) AirTime(bytes int) sim.Time { return c.cfg.AirTime(bytes) }
+
+// Transmit puts a frame on the air from src. The caller (MAC) is responsible
+// for having respected CSMA rules; the channel faithfully models the
+// consequences either way (collisions at receivers). The returned time is
+// when the transmission ends.
+func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
+	sn := c.nodes[src]
+	if sn == nil {
+		panic(fmt.Sprintf("phy: transmit from unknown node %v", src))
+	}
+	if sn.busyTx {
+		panic(fmt.Sprintf("phy: node %v already transmitting", src))
+	}
+	now := c.eng.Now()
+	dur := c.AirTime(f.Bytes())
+	tx := &transmission{src: src, frame: f, start: now, end: now + dur}
+	c.flight = append(c.flight, tx)
+	c.Stats.Transmissions++
+	sn.busyTx = true
+
+	// Raise carrier sense at every node in CS range; lock idle receivers
+	// onto the new frame; apply capture at already-locked receivers.
+	for _, n := range c.order {
+		if n.id == src {
+			continue
+		}
+		d := sn.pos.Dist(n.pos)
+		p := c.cfg.power(d)
+		if d <= c.cfg.CSRange {
+			n.sensed++
+			if n.sensed == 1 && !n.busyTx && n.radio != nil {
+				n.radio.CarrierBusy(true)
+			}
+		}
+		switch {
+		case n.busyTx:
+			// Half-duplex: a transmitting node ignores arrivals.
+		case n.rx != nil:
+			// Locked on another frame: the new energy is interference.
+			// The locked frame survives only if it is CaptureRatio
+			// stronger (ns-2 capture); the receiver never re-locks.
+			if n.rx.signal < c.cfg.CaptureRatio*p {
+				if !n.rx.corrupted && n.rx.decodable {
+					c.Stats.Collisions++
+				}
+				n.rx.corrupted = true
+			}
+		case d <= c.cfg.CSRange:
+			// Idle receiver locks onto the first frame it senses, even
+			// one too weak to decode (noise lock). Energy already in
+			// flight from other transmitters counts as interference.
+			rx := &reception{tx: tx, signal: p, decodable: d <= c.cfg.TxRange}
+			for _, other := range c.flight {
+				if other == tx {
+					continue
+				}
+				op := c.cfg.power(c.nodes[other.src].pos.Dist(n.pos))
+				if rx.signal < c.cfg.CaptureRatio*op {
+					rx.corrupted = true
+					if rx.decodable {
+						c.Stats.Collisions++
+					}
+					break
+				}
+			}
+			n.rx = rx
+		}
+	}
+
+	c.eng.ScheduleAt(tx.end, func() { c.finish(tx) })
+	return tx.end
+}
+
+// finish completes a transmission: lowers carrier sense, resolves frame
+// delivery at every receiver that had locked onto it.
+func (c *Channel) finish(tx *transmission) {
+	sn := c.nodes[tx.src]
+	sn.busyTx = false
+
+	for _, n := range c.order {
+		if n.id == tx.src {
+			continue
+		}
+		d := sn.pos.Dist(n.pos)
+		if d <= c.cfg.CSRange {
+			n.sensed--
+			if n.sensed == 0 && !n.busyTx && n.radio != nil {
+				n.radio.CarrierBusy(false)
+			}
+		}
+		if n.rx != nil && n.rx.tx == tx {
+			rx := n.rx
+			n.rx = nil
+			if rx.corrupted || !rx.decodable {
+				if rx.corrupted && rx.decodable && n.radio != nil {
+					n.radio.ReceiveError()
+				}
+				continue
+			}
+			// Apply per-link erasures (testbed link quality model).
+			if p := c.loss[linkKey{tx.src, n.id}]; p > 0 && c.eng.Chance(p) {
+				c.Stats.Erasures++
+				continue
+			}
+			c.deliver(n, tx.frame)
+		}
+	}
+
+	// Drop tx from the in-flight list.
+	for i, t := range c.flight {
+		if t == tx {
+			c.flight = append(c.flight[:i], c.flight[i+1:]...)
+			break
+		}
+	}
+}
+
+func (c *Channel) deliver(n *node, f *pkt.Frame) {
+	c.Stats.Decoded++
+	if n.radio == nil {
+		return
+	}
+	if f.TxDst == n.id || f.TxDst == pkt.Broadcast {
+		n.radio.Receive(f)
+	}
+	n.radio.Overhear(f, pkt.CaptureInfo{At: c.eng.Now(), Listener: n.id, OnAir: true})
+}
+
+// NodeIDs returns all registered node ids in ascending order.
+func (c *Channel) NodeIDs() []pkt.NodeID {
+	ids := make([]pkt.NodeID, 0, len(c.nodes))
+	for _, n := range c.order {
+		ids = append(ids, n.id)
+	}
+	return ids
+}

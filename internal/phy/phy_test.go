@@ -1,0 +1,298 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// fakeRadio records the PHY indications a node receives.
+type fakeRadio struct {
+	busy      []bool
+	received  []*pkt.Frame
+	overheard []*pkt.Frame
+	errors    int
+}
+
+func (r *fakeRadio) CarrierBusy(b bool)   { r.busy = append(r.busy, b) }
+func (r *fakeRadio) Receive(f *pkt.Frame) { r.received = append(r.received, f) }
+func (r *fakeRadio) ReceiveError()        { r.errors++ }
+func (r *fakeRadio) Overhear(f *pkt.Frame, _ pkt.CaptureInfo) {
+	r.overheard = append(r.overheard, f)
+}
+
+func frame(src, dst pkt.NodeID) *pkt.Frame {
+	p := pkt.NewPacket(1, 1, src, dst, 1000, 0)
+	return &pkt.Frame{Type: pkt.FrameData, TxSrc: src, TxDst: dst, Payload: p}
+}
+
+func setup(t *testing.T, positions ...Position) (*sim.Engine, *Channel, []*fakeRadio) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	ch := NewChannel(eng, DefaultConfig())
+	radios := make([]*fakeRadio, len(positions))
+	for i, pos := range positions {
+		radios[i] = &fakeRadio{}
+		ch.AddNode(pkt.NodeID(i), pos, radios[i])
+	}
+	return eng, ch, radios
+}
+
+func TestAirTime(t *testing.T) {
+	cfg := DefaultConfig()
+	// 1000 bytes at 1 Mb/s = 8 ms + 192 us preamble.
+	want := 192*sim.Microsecond + 8*sim.Millisecond
+	if got := cfg.AirTime(1000); got != want {
+		t.Fatalf("AirTime(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200})
+	ch.Transmit(0, frame(0, 1))
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 1 {
+		t.Fatalf("receiver got %d frames, want 1", len(radios[1].received))
+	}
+	if len(radios[1].overheard) != 1 {
+		t.Fatalf("tap got %d frames, want 1", len(radios[1].overheard))
+	}
+	if len(radios[0].received) != 0 {
+		t.Fatal("transmitter received its own frame")
+	}
+}
+
+func TestOutOfRangeNoDelivery(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 300})
+	ch.Transmit(0, frame(0, 1))
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 0 {
+		t.Fatal("out-of-range node decoded a frame")
+	}
+}
+
+func TestOverhearNotAddressed(t *testing.T) {
+	// Node 2 is in range of node 0 but the frame is addressed to node 1:
+	// node 2 must overhear but not Receive — the broadcast-nature property
+	// EZ-Flow is built on.
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200}, Position{X: 100, Y: 100})
+	ch.Transmit(0, frame(0, 1))
+	eng.Run(sim.Second)
+	if len(radios[2].received) != 0 {
+		t.Fatal("third party Received an addressed frame")
+	}
+	if len(radios[2].overheard) != 1 {
+		t.Fatal("third party did not overhear the frame")
+	}
+}
+
+func TestCarrierSense(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 500}, Position{X: 600})
+	if ch.Busy(1) {
+		t.Fatal("medium busy before any transmission")
+	}
+	ch.Transmit(0, frame(0, 1))
+	if !ch.Busy(1) {
+		t.Fatal("node within CS range does not sense the transmission")
+	}
+	if ch.Busy(2) {
+		t.Fatal("node beyond CS range senses the transmission")
+	}
+	eng.Run(sim.Second)
+	if ch.Busy(1) {
+		t.Fatal("medium still busy after the transmission ended")
+	}
+	// Busy/idle indications arrived in pairs.
+	if len(radios[1].busy) != 2 || radios[1].busy[0] != true || radios[1].busy[1] != false {
+		t.Fatalf("CS indications: %v", radios[1].busy)
+	}
+	if len(radios[2].busy) != 0 {
+		t.Fatal("far node received CS indications")
+	}
+}
+
+func TestHiddenTerminalCollision(t *testing.T) {
+	// 0 and 2 are hidden from each other (600 m apart); 1 sits between
+	// them at 200/400 m. Node 2 transmits first, node 1 locks onto its
+	// energy (decodable? 400 > 250: noise lock), then node 0's frame
+	// arrives 16x stronger — but under lock-first semantics node 1 cannot
+	// decode it.
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200}, Position{X: 600})
+	ch.Transmit(2, frame(2, 1))
+	eng.Schedule(sim.Millisecond, func() { ch.Transmit(0, frame(0, 1)) })
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 0 {
+		t.Fatal("frame decoded despite noise lock from a hidden terminal")
+	}
+}
+
+func TestCaptureStrongerFirst(t *testing.T) {
+	// Node 0's frame (200 m) locks node 1 first; node 2's interference
+	// from 400 m is 16x weaker (12 dB > 10 dB threshold): captured over.
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200}, Position{X: 600})
+	ch.Transmit(0, frame(0, 1))
+	eng.Schedule(sim.Millisecond, func() { ch.Transmit(2, frame(2, 1)) })
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 1 {
+		t.Fatal("capture failed: stronger first frame was not decoded")
+	}
+}
+
+func TestEqualPowerCollision(t *testing.T) {
+	// Two transmitters both 200 m from the receiver: equal power, no
+	// capture, both lost; the receiver reports a receive error (EIFS).
+	eng, ch, radios := setup(t,
+		Position{X: 0}, Position{X: 200}, Position{X: 400})
+	ch.Transmit(0, frame(0, 1))
+	eng.Schedule(sim.Millisecond, func() { ch.Transmit(2, frame(2, 1)) })
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 0 {
+		t.Fatal("equal-power collision decoded a frame")
+	}
+	if radios[1].errors == 0 {
+		t.Fatal("collision on a decodable frame did not raise ReceiveError")
+	}
+	if ch.Stats.Collisions == 0 {
+		t.Fatal("collision counter not incremented")
+	}
+}
+
+func TestHalfDuplex(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200})
+	ch.Transmit(1, frame(1, 0)) // node 1 is transmitting...
+	ch.Transmit(0, frame(0, 1)) // ...so it cannot receive this
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 0 {
+		t.Fatal("half-duplex violation: node received while transmitting")
+	}
+}
+
+func TestLinkLossErasure(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200})
+	ch.SetLinkLoss(0, 1, 1.0)
+	ch.Transmit(0, frame(0, 1))
+	eng.Run(sim.Second)
+	if len(radios[1].received) != 0 {
+		t.Fatal("frame delivered across a 100%-loss link")
+	}
+	if ch.Stats.Erasures != 1 {
+		t.Fatalf("erasures = %d, want 1", ch.Stats.Erasures)
+	}
+	if ch.LinkLoss(0, 1) != 1.0 {
+		t.Fatal("LinkLoss readback")
+	}
+}
+
+func TestLinkLossIsDirectional(t *testing.T) {
+	eng, ch, radios := setup(t, Position{X: 0}, Position{X: 200})
+	ch.SetLinkLoss(0, 1, 1.0)
+	ch.Transmit(1, frame(1, 0)) // reverse direction unaffected
+	eng.Run(sim.Second)
+	if len(radios[0].received) != 1 {
+		t.Fatal("reverse direction affected by forward loss")
+	}
+}
+
+func TestTransmitWhileTransmittingPanics(t *testing.T) {
+	_, ch, _ := setup(t, Position{X: 0}, Position{X: 200})
+	ch.Transmit(0, frame(0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double transmit did not panic")
+		}
+	}()
+	ch.Transmit(0, frame(0, 1))
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, ch, _ := setup(t, Position{X: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	ch.AddNode(0, Position{X: 1}, &fakeRadio{})
+}
+
+func TestRangePredicates(t *testing.T) {
+	_, ch, _ := setup(t, Position{X: 0}, Position{X: 200}, Position{X: 400}, Position{X: 600})
+	if !ch.InTxRange(0, 1) || ch.InTxRange(0, 2) {
+		t.Fatal("InTxRange")
+	}
+	if !ch.InCSRange(0, 2) || ch.InCSRange(0, 3) {
+		t.Fatal("InCSRange")
+	}
+	if len(ch.NodeIDs()) != 4 {
+		t.Fatal("NodeIDs")
+	}
+	if ch.Position(2).X != 400 {
+		t.Fatal("Position")
+	}
+}
+
+func TestPositionDist(t *testing.T) {
+	a, b := Position{X: 0, Y: 0}, Position{X: 3, Y: 4}
+	if a.Dist(b) != 5 {
+		t.Fatal("Dist(3-4-5)")
+	}
+}
+
+// Property: delivery is monotone in distance — if a frame is decoded at
+// distance d with no interference, it is decoded at any smaller distance.
+func TestPropertyDeliveryByRange(t *testing.T) {
+	f := func(dRaw uint16) bool {
+		d := float64(dRaw%700) + 1
+		eng := sim.NewEngine(1)
+		ch := NewChannel(eng, DefaultConfig())
+		r := &fakeRadio{}
+		ch.AddNode(0, Position{X: 0}, &fakeRadio{})
+		ch.AddNode(1, Position{X: d}, r)
+		ch.Transmit(0, frame(0, 1))
+		eng.Run(sim.Second)
+		got := len(r.received) == 1
+		want := d <= DefaultConfig().TxRange
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sensed counter always returns to zero after all
+// transmissions finish, for random transmission schedules.
+func TestPropertySenseBalanced(t *testing.T) {
+	f := func(starts []uint16) bool {
+		if len(starts) > 20 {
+			starts = starts[:20]
+		}
+		eng := sim.NewEngine(1)
+		ch := NewChannel(eng, DefaultConfig())
+		n := 5
+		for i := 0; i < n; i++ {
+			ch.AddNode(pkt.NodeID(i), Position{X: float64(i) * 150}, &fakeRadio{})
+		}
+		for i, s := range starts {
+			src := pkt.NodeID(i % n)
+			at := sim.Time(s) * sim.Microsecond
+			eng.ScheduleAt(at, func() {
+				// A node may legitimately still be transmitting from
+				// a previous schedule entry; skip those.
+				defer func() { _ = recover() }()
+				ch.Transmit(src, frame(src, (src+1)%pkt.NodeID(n)))
+			})
+		}
+		eng.Run(10 * sim.Second)
+		for i := 0; i < n; i++ {
+			if ch.Busy(pkt.NodeID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

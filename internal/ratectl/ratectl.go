@@ -1,0 +1,143 @@
+// Package ratectl implements the routing-layer variant of EZ-Flow sketched
+// in the paper's conclusion (§7): in dense deployments where per-successor
+// MAC queues run out, "multiple queues could be implemented at the routing
+// layer ... the BOE would remain unchanged; and the CAA would control the
+// scheduling rate at which packets belonging to different routing queues
+// are delivered to the MAC layer, instead of directly modifying the MAC
+// contention window".
+//
+// A Pacer sits between a routing-layer queue and a MAC transmit queue and
+// releases packets at a controlled rate. RateSetter adapts that rate with
+// the same multiplicative-increase / multiplicative-decrease discipline the
+// CAA applies to CWmin: since channel access probability is roughly
+// inversely proportional to CWmin, doubling cw maps to halving the release
+// rate, so the ratectl actuator can be driven by an unmodified CAA through
+// the CWAdapter bridge.
+package ratectl
+
+import (
+	"ezflow/internal/mac"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Pacer releases packets from an unbounded routing-layer queue into a
+// bounded MAC queue at a controlled rate.
+type Pacer struct {
+	eng  *sim.Engine
+	out  *mac.Queue
+	rate float64 // packets per second released toward the MAC
+	buf  []*pkt.Packet
+	cap  int
+	tick *sim.Event
+
+	// Stats
+	Enqueued uint64
+	Released uint64
+	Dropped  uint64
+}
+
+// DefaultRoutingQueueCap bounds the routing-layer queue. It is larger than
+// the MAC buffer: the routing layer is where §7 expects buffering to move.
+const DefaultRoutingQueueCap = 200
+
+// NewPacer creates a pacer feeding out at initially rate packets/second.
+func NewPacer(eng *sim.Engine, out *mac.Queue, rate float64) *Pacer {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Pacer{eng: eng, out: out, rate: rate, cap: DefaultRoutingQueueCap}
+}
+
+// Rate reports the current release rate in packets/second.
+func (p *Pacer) Rate() float64 { return p.rate }
+
+// SetRate changes the release rate.
+func (p *Pacer) SetRate(r float64) {
+	if r <= 0 {
+		r = 0.001
+	}
+	p.rate = r
+}
+
+// Len reports the routing-layer backlog.
+func (p *Pacer) Len() int { return len(p.buf) }
+
+// Enqueue accepts a packet into the routing-layer queue. It reports false
+// on overflow.
+func (p *Pacer) Enqueue(pk *pkt.Packet) bool {
+	if len(p.buf) >= p.cap {
+		p.Dropped++
+		return false
+	}
+	p.buf = append(p.buf, pk)
+	p.Enqueued++
+	if !p.tick.Pending() {
+		p.schedule()
+	}
+	return true
+}
+
+func (p *Pacer) schedule() {
+	gap := sim.Time(float64(sim.Second) / p.rate)
+	p.tick = p.eng.Schedule(gap, p.release)
+}
+
+func (p *Pacer) release() {
+	if len(p.buf) == 0 {
+		return
+	}
+	// Only release when the MAC queue has room: the MAC buffer is kept
+	// shallow so that the contention window stays the sole MAC-level
+	// control, as §7 prescribes.
+	if p.out.Len() < p.mACRoom() {
+		pk := p.buf[0]
+		copy(p.buf, p.buf[1:])
+		p.buf[len(p.buf)-1] = nil
+		p.buf = p.buf[:len(p.buf)-1]
+		p.out.Enqueue(pk)
+		p.Released++
+	}
+	if len(p.buf) > 0 {
+		p.schedule()
+	}
+}
+
+// mACRoom is how full the pacer lets the MAC queue get before holding
+// packets back at the routing layer.
+func (p *Pacer) mACRoom() int { return 5 }
+
+// CWAdapter lets an unmodified CAA drive a Pacer: it satisfies
+// ezflow.CWSetter by mapping the contention window to a release rate,
+// rate = RefRate * RefCW / cw, so the CAA's multiplicative updates on cw
+// become multiplicative updates on the pacing rate.
+type CWAdapter struct {
+	Pacer   *Pacer
+	RefCW   int     // the cw that corresponds to RefRate
+	RefRate float64 // packets/second at RefCW
+	cw      int
+}
+
+// NewCWAdapter builds an adapter with the given reference point.
+func NewCWAdapter(p *Pacer, refCW int, refRate float64) *CWAdapter {
+	a := &CWAdapter{Pacer: p, RefCW: refCW, RefRate: refRate, cw: refCW}
+	a.apply()
+	return a
+}
+
+// CWmin implements the CAA's control-surface interface.
+func (a *CWAdapter) CWmin() int { return a.cw }
+
+// SetCWmin implements the CAA's control-surface interface, translating the
+// window into a pacing rate.
+func (a *CWAdapter) SetCWmin(cw int) {
+	if cw < 1 {
+		cw = 1
+	}
+	a.cw = cw
+	a.apply()
+}
+
+func (a *CWAdapter) apply() {
+	a.Pacer.SetRate(a.RefRate * float64(a.RefCW) / float64(a.cw))
+}

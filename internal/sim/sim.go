@@ -1,0 +1,222 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as int64 nanoseconds, schedules callbacks on
+// a binary heap ordered by (time, sequence), and exposes a seeded random
+// number generator so that every run is a pure function of its inputs.
+// All higher layers of the repository (PHY, MAC, traffic sources, EZ-Flow
+// controllers) are driven exclusively by this engine: nothing in the
+// simulator reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, counted in nanoseconds from the start of
+// the run. It intentionally mirrors time.Duration arithmetic: Time(x) + Time
+// durations compose with ordinary integer addition.
+type Time int64
+
+// Common durations, re-exported so call sites do not need to convert between
+// time.Duration and Time by hand.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromSeconds converts a float64 number of seconds into a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	dead   bool
+	engine *Engine
+}
+
+// At reports when the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead || e.index < 0 {
+		if e != nil {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	heap.Remove(&e.engine.queue, e.index)
+	e.index = -1
+}
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
+
+// eventQueue implements heap.Interface ordered by (at, seq). The seq
+// tie-break guarantees FIFO ordering among events scheduled for the same
+// instant, which keeps runs deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use: the simulated world is single-threaded by design, which is
+// what makes runs reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	stopAt Time
+	halted bool
+	fired  uint64
+}
+
+// NewEngine returns an engine whose random generator is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), stopAt: -1}
+}
+
+// Now reports the current virtual time.
+func (en *Engine) Now() Time { return en.now }
+
+// Rand exposes the engine's deterministic random source.
+func (en *Engine) Rand() *rand.Rand { return en.rng }
+
+// Fired reports how many events have executed so far.
+func (en *Engine) Fired() uint64 { return en.fired }
+
+// Pending reports how many events are queued.
+func (en *Engine) Pending() int { return len(en.queue) }
+
+// Schedule queues fn to run after delay. A negative delay fires "now" (but
+// still strictly after the currently executing event returns).
+func (en *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return en.ScheduleAt(en.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time at. Times in the past are
+// clamped to the present.
+func (en *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if at < en.now {
+		at = en.now
+	}
+	en.seq++
+	e := &Event{at: at, seq: en.seq, fn: fn, engine: en}
+	heap.Push(&en.queue, e)
+	return e
+}
+
+// Stop halts the run loop after the currently executing event completes.
+func (en *Engine) Stop() { en.halted = true }
+
+// Run executes events until the queue is empty, until is reached, or Stop is
+// called. It returns the virtual time at which the loop stopped.
+func (en *Engine) Run(until Time) Time {
+	en.halted = false
+	for len(en.queue) > 0 && !en.halted {
+		e := en.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&en.queue)
+		if e.dead {
+			continue
+		}
+		en.now = e.at
+		e.dead = true
+		en.fired++
+		e.fn()
+	}
+	if en.now < until && !en.halted {
+		// Advance the clock to the horizon even if the world went idle.
+		en.now = until
+	}
+	return en.now
+}
+
+// RunStep executes exactly one event, if any remain, and reports whether an
+// event fired. Used by tests that want to single-step the world.
+func (en *Engine) RunStep() bool {
+	for len(en.queue) > 0 {
+		e := heap.Pop(&en.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		en.now = e.at
+		e.dead = true
+		en.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Uniform returns an integer uniform on [0, n). It panics if n <= 0.
+func (en *Engine) Uniform(n int) int {
+	if n <= 0 {
+		panic("sim: Uniform with non-positive bound")
+	}
+	return en.rng.Intn(n)
+}
+
+// Chance returns true with probability p (clamped to [0,1]).
+func (en *Engine) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return en.rng.Float64() < p
+}

@@ -1,0 +1,237 @@
+// Package stats collects and summarises the metrics the paper reports:
+// per-flow throughput (mean and standard deviation over time bins),
+// end-to-end delay series, queue-occupancy traces, and Jain's fairness
+// index (Eq. 1 of the paper).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"ezflow/internal/sim"
+)
+
+// Welford accumulates mean and variance in a single pass.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean reports the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var reports the sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// JainIndex computes Jain's fairness index over per-flow throughputs:
+// (Σx)² / (n·Σx²). It returns 1 for an empty input by convention and is
+// always in (0, 1] for non-negative, not-all-zero inputs.
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, v := range x {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sq)
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean reports the mean of the values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Std reports the sample standard deviation of the values.
+func (s *Series) Std() float64 {
+	n := len(s.Points)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var sq float64
+	for _, p := range s.Points {
+		d := p.V - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(n-1))
+}
+
+// Max reports the maximum value (0 if empty).
+func (s *Series) Max() float64 {
+	var mx float64
+	for i, p := range s.Points {
+		if i == 0 || p.V > mx {
+			mx = p.V
+		}
+	}
+	return mx
+}
+
+// Window returns the sub-series with from <= T < to.
+func (s *Series) Window(from, to sim.Time) *Series {
+	out := &Series{Name: s.Name}
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of the values, or 0 if
+// the series is empty.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	vals := make([]float64, n)
+	for i, pt := range s.Points {
+		vals[i] = pt.V
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[n-1]
+	}
+	idx := p / 100 * float64(n-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= n {
+		return vals[n-1]
+	}
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// FlowMeter bins packet arrivals at a flow's destination into fixed windows
+// and produces the throughput time series the paper plots, plus a delay
+// series of per-packet end-to-end latencies.
+type FlowMeter struct {
+	bin        sim.Time
+	curStart   sim.Time
+	curBytes   int
+	Throughput Series // kb/s per bin
+	Delay      Series // seconds per delivered packet
+	Delivered  uint64
+	BytesTotal uint64
+}
+
+// NewFlowMeter creates a meter with the given bin width (the paper uses
+// 10-second bins for its throughput plots).
+func NewFlowMeter(bin sim.Time) *FlowMeter {
+	if bin <= 0 {
+		bin = 10 * sim.Second
+	}
+	return &FlowMeter{bin: bin}
+}
+
+// OnDeliver records a packet of the flow reaching its destination at time
+// now, created at created, carrying bytes payload bytes.
+func (f *FlowMeter) OnDeliver(now, created sim.Time, bytes int) {
+	f.Delivered++
+	f.BytesTotal += uint64(bytes)
+	f.Delay.Add(now, (now - created).Seconds())
+	for now >= f.curStart+f.bin {
+		f.flushBin()
+	}
+	f.curBytes += bytes
+}
+
+func (f *FlowMeter) flushBin() {
+	kbps := float64(f.curBytes*8) / f.bin.Seconds() / 1000
+	f.Throughput.Add(f.curStart+f.bin, kbps)
+	f.curStart += f.bin
+	f.curBytes = 0
+}
+
+// Close flushes the current partial bin.
+func (f *FlowMeter) Close(now sim.Time) {
+	for f.curStart+f.bin <= now {
+		f.flushBin()
+	}
+}
+
+// MeanThroughputKbps reports the average goodput in kb/s between from and
+// to, computed from totals rather than bins for accuracy.
+func (f *FlowMeter) MeanThroughputKbps(from, to sim.Time) float64 {
+	w := f.Throughput.Window(from, to)
+	return w.Mean()
+}
+
+// Sampler periodically samples a float-valued probe into a series: the
+// paper's queue-occupancy traces (Figs. 1 and 4) are built this way.
+type Sampler struct {
+	Series Series
+	stop   bool
+}
+
+// NewSampler starts sampling probe every period on eng, recording into the
+// returned sampler's Series.
+func NewSampler(eng *sim.Engine, name string, period sim.Time, probe func() float64) *Sampler {
+	s := &Sampler{Series: Series{Name: name}}
+	var tick func()
+	tick = func() {
+		if s.stop {
+			return
+		}
+		s.Series.Add(eng.Now(), probe())
+		eng.Schedule(period, tick)
+	}
+	eng.Schedule(period, tick)
+	return s
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.stop = true }

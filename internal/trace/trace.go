@@ -1,0 +1,114 @@
+// Package trace exports simulation results as CSV files for plotting: the
+// queue-occupancy, throughput, delay, and contention-window series behind
+// every figure of the paper. Writers are deterministic (sorted file sets,
+// fixed column order) so exported artefacts diff cleanly across runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ezflow/internal/sim"
+	"ezflow/internal/stats"
+)
+
+// WriteSeries writes one time series as "t_seconds,value" CSV.
+func WriteSeries(w io.Writer, s *stats.Series) error {
+	if _, err := io.WriteString(w, "t_seconds,value\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%.3f,%g\n", p.T.Seconds(), p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CWPoint mirrors a contention-window trace sample without importing the
+// controller package.
+type CWPoint struct {
+	At sim.Time
+	CW int
+}
+
+// WriteCW writes a contention-window trace as "t_seconds,cw" CSV.
+func WriteCW(w io.Writer, pts []CWPoint) error {
+	if _, err := io.WriteString(w, "t_seconds,cw\n"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%.3f,%d\n", p.At.Seconds(), p.CW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SafeName converts a trace key such as "N0->N1" into a filesystem-safe
+// fragment.
+func SafeName(key string) string {
+	return strings.NewReplacer("->", "_to_", " ", "", "/", "_").Replace(key)
+}
+
+// Bundle is a set of named series and cw traces to export together.
+type Bundle struct {
+	Series map[string]*stats.Series
+	CW     map[string][]CWPoint
+}
+
+// NewBundle creates an empty bundle.
+func NewBundle() *Bundle {
+	return &Bundle{
+		Series: make(map[string]*stats.Series),
+		CW:     make(map[string][]CWPoint),
+	}
+}
+
+// WriteDir writes every entry of the bundle as <dir>/<name>.csv and
+// returns the file names written, sorted.
+func (b *Bundle) WriteDir(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var names []string
+	for name := range b.Series {
+		names = append(names, SafeName(name)+".csv")
+	}
+	for name := range b.CW {
+		names = append(names, "cw_"+SafeName(name)+".csv")
+	}
+	sort.Strings(names)
+
+	for name, s := range b.Series {
+		if err := writeFile(filepath.Join(dir, SafeName(name)+".csv"), func(w io.Writer) error {
+			return WriteSeries(w, s)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for name, pts := range b.CW {
+		if err := writeFile(filepath.Join(dir, "cw_"+SafeName(name)+".csv"), func(w io.Writer) error {
+			return WriteCW(w, pts)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func writeFile(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ezflow/internal/sim"
+	"ezflow/internal/stats"
+)
+
+func TestWriteSeries(t *testing.T) {
+	var s stats.Series
+	s.Add(sim.Second, 1.5)
+	s.Add(2*sim.Second, 2)
+	var b strings.Builder
+	if err := WriteSeries(&b, &s); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_seconds,value\n1.000,1.5\n2.000,2\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCW(t *testing.T) {
+	var b strings.Builder
+	pts := []CWPoint{{sim.Second, 32}, {90 * sim.Second, 64}}
+	if err := WriteCW(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_seconds,cw\n1.000,32\n90.000,64\n"
+	if b.String() != want {
+		t.Fatalf("got %q", b.String())
+	}
+}
+
+func TestSafeName(t *testing.T) {
+	cases := map[string]string{
+		"N0->N1":     "N0_to_N1",
+		"queue N3":   "queueN3",
+		"a/b":        "a_b",
+		"throughput": "throughput",
+	}
+	for in, want := range cases {
+		if got := SafeName(in); got != want {
+			t.Errorf("SafeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBundleWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBundle()
+	var s stats.Series
+	s.Add(sim.Second, 7)
+	b.Series["queue_N1"] = &s
+	b.CW["N0->N1"] = []CWPoint{{0, 32}}
+	names, err := b.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			t.Fatalf("missing exported file %s: %v", n, err)
+		}
+		if !strings.HasPrefix(string(data), "t_seconds,") {
+			t.Fatalf("file %s missing header", n)
+		}
+	}
+	// Sorted output.
+	if !(names[0] < names[1]) {
+		t.Fatalf("names unsorted: %v", names)
+	}
+}
+
+func TestBundleWriteDirBadPath(t *testing.T) {
+	b := NewBundle()
+	if _, err := b.WriteDir("/dev/null/impossible"); err == nil {
+		t.Fatal("expected error on impossible directory")
+	}
+}

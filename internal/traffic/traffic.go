@@ -1,0 +1,113 @@
+// Package traffic provides the source agents that drive the mesh: constant
+// bit rate (the paper's 2 Mb/s CBR saturating sources), Poisson arrivals,
+// and on/off activity schedules (both simulation scenarios switch flows on
+// and off mid-run to exercise EZ-Flow's adaptation to changing traffic
+// matrices).
+package traffic
+
+import (
+	"ezflow/internal/mesh"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Source generates packets for one flow and injects them at its source node.
+type Source struct {
+	m       *mesh.Mesh
+	flow    pkt.FlowID
+	src     pkt.NodeID
+	dst     pkt.NodeID
+	bytes   int
+	period  sim.Time // CBR inter-packet gap; 0 disables CBR
+	poisson bool
+	rateBps float64
+
+	seq    uint64
+	active bool
+	timer  *sim.Event
+	// Generated counts every packet created; Injected excludes source
+	// queue overflows.
+	Generated uint64
+	Injected  uint64
+}
+
+// NewCBR creates a constant-bit-rate source for flow at rate bits/s with
+// the given packet size in bytes. The flow's route must already be
+// installed; the source and destination are taken from it.
+func NewCBR(m *mesh.Mesh, flow pkt.FlowID, rateBps float64, bytes int) *Source {
+	route := m.Route(flow)
+	if len(route) < 2 {
+		panic("traffic: flow has no route")
+	}
+	if bytes <= 0 {
+		bytes = pkt.DefaultPayloadBytes
+	}
+	gap := sim.Time(float64(bytes*8) / rateBps * float64(sim.Second))
+	if gap <= 0 {
+		gap = sim.Nanosecond
+	}
+	return &Source{
+		m: m, flow: flow,
+		src: route[0], dst: route[len(route)-1],
+		bytes: bytes, period: gap, rateBps: rateBps,
+	}
+}
+
+// NewPoisson creates a Poisson source with the given mean rate in bits/s.
+func NewPoisson(m *mesh.Mesh, flow pkt.FlowID, rateBps float64, bytes int) *Source {
+	s := NewCBR(m, flow, rateBps, bytes)
+	s.poisson = true
+	return s
+}
+
+// Flow reports the source's flow id.
+func (s *Source) Flow() pkt.FlowID { return s.flow }
+
+// Active reports whether the source is currently generating.
+func (s *Source) Active() bool { return s.active }
+
+// StartAt schedules the source to begin at time at.
+func (s *Source) StartAt(at sim.Time) {
+	s.m.Eng.ScheduleAt(at, s.Start)
+}
+
+// StopAt schedules the source to stop at time at.
+func (s *Source) StopAt(at sim.Time) {
+	s.m.Eng.ScheduleAt(at, s.Stop)
+}
+
+// Start begins generation immediately.
+func (s *Source) Start() {
+	if s.active {
+		return
+	}
+	s.active = true
+	s.emit()
+}
+
+// Stop halts generation immediately. In-flight packets keep travelling.
+func (s *Source) Stop() {
+	s.active = false
+	s.timer.Cancel()
+}
+
+func (s *Source) nextGap() sim.Time {
+	if !s.poisson {
+		return s.period
+	}
+	mean := float64(s.period)
+	return sim.Time(s.m.Eng.Rand().ExpFloat64() * mean)
+}
+
+func (s *Source) emit() {
+	if !s.active {
+		return
+	}
+	s.seq++
+	p := pkt.NewPacket(s.flow, s.seq, s.src, s.dst, s.bytes, s.m.Eng.Now())
+	s.Generated++
+	if s.m.Inject(p) {
+		s.Injected++
+	}
+	s.timer = s.m.Eng.Schedule(s.nextGap(), s.emit)
+}

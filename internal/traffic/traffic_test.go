@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"testing"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/mesh"
+	"ezflow/internal/phy"
+	"ezflow/internal/sim"
+)
+
+func newMesh(t *testing.T) (*sim.Engine, *mesh.Mesh) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := mesh.Chain(eng, 2, phy.DefaultConfig(), mac.DefaultConfig())
+	return eng, m
+}
+
+func TestCBRRate(t *testing.T) {
+	eng, m := newMesh(t)
+	// 82.24 kb/s with 1028-byte packets = exactly 10 packets per second.
+	s := NewCBR(m, 1, 82240, 1028)
+	s.Start()
+	eng.Run(10 * sim.Second)
+	// First packet at t=0, then one every 100 ms: 101 packets in [0,10].
+	if s.Generated < 100 || s.Generated > 101 {
+		t.Fatalf("generated %d packets, want ~100", s.Generated)
+	}
+}
+
+func TestStartStopSchedule(t *testing.T) {
+	eng, m := newMesh(t)
+	s := NewCBR(m, 1, 82240, 1028)
+	s.StartAt(2 * sim.Second)
+	s.StopAt(4 * sim.Second)
+	eng.Run(10 * sim.Second)
+	// Active for 2 s at 10 pkt/s.
+	if s.Generated < 19 || s.Generated > 22 {
+		t.Fatalf("generated %d packets, want ~20", s.Generated)
+	}
+	if s.Active() {
+		t.Fatal("source still active after StopAt")
+	}
+}
+
+func TestDoubleStartIdempotent(t *testing.T) {
+	eng, m := newMesh(t)
+	s := NewCBR(m, 1, 82240, 1028)
+	s.Start()
+	s.Start()
+	eng.Run(sim.Second)
+	if s.Generated > 11 {
+		t.Fatalf("double start doubled the rate: %d", s.Generated)
+	}
+}
+
+func TestStopBeforeStart(t *testing.T) {
+	eng, m := newMesh(t)
+	s := NewCBR(m, 1, 82240, 1028)
+	s.Stop() // no-op
+	eng.Run(sim.Second)
+	if s.Generated != 0 {
+		t.Fatal("stopped source generated packets")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	eng, m := newMesh(t)
+	s := NewPoisson(m, 1, 82240, 1028) // mean 10 pkt/s
+	s.Start()
+	eng.Run(100 * sim.Second)
+	if s.Generated < 800 || s.Generated > 1200 {
+		t.Fatalf("poisson generated %d in 100 s, want ~1000", s.Generated)
+	}
+	if s.Flow() != 1 {
+		t.Fatal("Flow accessor")
+	}
+}
+
+func TestInjectedTracksOverflow(t *testing.T) {
+	eng, m := newMesh(t)
+	// Saturating rate: the 50-slot source queue must overflow, and
+	// Injected must fall behind Generated.
+	s := NewCBR(m, 1, 2e6, 1028)
+	s.Start()
+	eng.Run(30 * sim.Second)
+	if s.Injected >= s.Generated {
+		t.Fatalf("injected %d, generated %d: overflow not reflected",
+			s.Injected, s.Generated)
+	}
+}
+
+func TestNoRoutePanics(t *testing.T) {
+	_, m := newMesh(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CBR on unrouted flow did not panic")
+		}
+	}()
+	NewCBR(m, 99, 1e6, 1028)
+}
+
+func TestDefaultBytes(t *testing.T) {
+	_, m := newMesh(t)
+	s := NewCBR(m, 1, 1e6, 0)
+	if s.bytes != 1028 {
+		t.Fatalf("default packet size %d, want 1028", s.bytes)
+	}
+}
