@@ -8,12 +8,14 @@
 //	ezbench                    # all experiments at 1/4 paper durations
 //	ezbench -scale 1           # full paper durations (slow)
 //	ezbench -exp fig1,table1   # a subset
+//	ezbench -parallel 8        # fan each experiment's runs over 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ezflow/internal/exp"
@@ -44,9 +46,10 @@ var aliases = map[string]string{
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "random seed")
-		scale = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
-		which = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1 or figure/table aliases)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
+		which    = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1 or figure/table aliases)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 		}
 	}
 
-	o := exp.Options{Seed: *seed, Scale: *scale}
+	o := exp.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	ran := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {

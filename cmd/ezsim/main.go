@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2")
+		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2|tree")
 		hops     = flag.Int("hops", 4, "number of hops for the chain topology")
 		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
 		duration = flag.Float64("duration", 600, "simulated seconds")

@@ -18,6 +18,12 @@
 //		ezflow.FlowSpec{Flow: 1, RateBps: 2e6, Stop: cfg.Duration})
 //	res := sc.Run()
 //	fmt.Println(res.Flows[1].MeanThroughputKbps)
+//
+// Scenarios are single-threaded and deterministic, but independent: each
+// owns its engine, so many can run concurrently. internal/campaign builds
+// on that to fan parameter sweeps with multi-seed replications out across
+// worker pools and aggregate them with confidence intervals (see
+// cmd/ezcampaign, and cmd/ezbench's -parallel flag).
 package ezflow
 
 import (

@@ -1,0 +1,3 @@
+module ezflow
+
+go 1.24

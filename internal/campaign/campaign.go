@@ -1,0 +1,402 @@
+// Package campaign is the experiment-orchestration layer of the
+// repository: it fans independent ezflow.Scenario runs out across a pool
+// of workers and aggregates replications into the statistics the paper's
+// evaluation grid needs (mean, standard deviation, 95% confidence
+// intervals, Jain-index distributions).
+//
+// The package has two layers. The generic layer — RunAll — executes a
+// slice of independent jobs on up to GOMAXPROCS goroutines and returns
+// results in submission order; internal/exp routes every figure/table
+// experiment through it. The declarative layer — Spec, Engine, Sink —
+// describes a parameter sweep (topology × mode × rate × hops × CW cap)
+// with per-point seed replications, runs the whole grid, and emits the
+// outcome through pluggable sinks (human-readable report, JSON, CSV).
+//
+// Determinism: every run's seed is derived purely from (base seed, point
+// label, replication index) by DeriveSeed, and results are collected by
+// grid position rather than completion order, so a campaign's output is
+// byte-identical no matter how many workers execute it.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ezflow"
+	"ezflow/internal/stats"
+)
+
+// Spec declares a campaign: an ordered list of swept axes, the number of
+// seed replications per grid point, and the shared run parameters.
+type Spec struct {
+	Name string `json:"name"`
+	// Axes are the swept parameters, in sweep order. The grid is their
+	// cartesian product; with no axes the campaign is a single point.
+	Axes []Axis `json:"axes,omitempty"`
+	// Reps is the number of independently seeded replications per point
+	// (default 1).
+	Reps int `json:"reps"`
+	// BaseSeed feeds DeriveSeed; two campaigns with different base seeds
+	// draw disjoint replication streams.
+	BaseSeed int64 `json:"base_seed"`
+	// DurationSec is the simulated duration of each run (default 600 s,
+	// the paper's standard horizon).
+	DurationSec float64 `json:"duration_sec"`
+	// RateBps is the per-flow CBR rate when "rate" is not swept
+	// (default 2 Mb/s, the paper's saturating source).
+	RateBps float64 `json:"rate_bps"`
+}
+
+// Axis is one swept parameter. Known names: "topology"
+// (chain|testbed|scenario1|scenario2|tree), "mode"
+// (802.11|ezflow|penalty|diffq), "hops" (chain length), "rate" (bit/s),
+// "cap" (hardware CWmin cap, 0 = none).
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// ParseSweep parses the CLI sweep syntax "axis=v1,v2,..." into an Axis.
+// Integer ranges expand: "hops=2..8" is hops 2,3,...,8.
+func ParseSweep(s string) (Axis, error) {
+	name, vals, ok := strings.Cut(s, "=")
+	if !ok || vals == "" {
+		return Axis{}, fmt.Errorf("campaign: sweep %q is not axis=v1,v2,...", s)
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	switch name {
+	case "topology", "mode", "hops", "rate", "cap":
+	default:
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap)", name)
+	}
+	var out []string
+	for _, v := range strings.Split(vals, ",") {
+		v = strings.TrimSpace(v)
+		if lo, hi, isRange := strings.Cut(v, ".."); isRange {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return Axis{}, fmt.Errorf("campaign: bad range %q in sweep %q", v, s)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, strconv.Itoa(i))
+			}
+			continue
+		}
+		if v != "" {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return Axis{}, fmt.Errorf("campaign: sweep %q has no values", s)
+	}
+	return Axis{Name: name, Values: out}, nil
+}
+
+// ParseMode maps the CLI spellings of the four control modes.
+func ParseMode(s string) (ezflow.Mode, error) {
+	switch strings.ToLower(s) {
+	case "802.11", "80211", "plain":
+		return ezflow.Mode80211, nil
+	case "ezflow", "ez-flow":
+		return ezflow.ModeEZFlow, nil
+	case "penalty":
+		return ezflow.ModePenalty, nil
+	case "diffq":
+		return ezflow.ModeDiffQ, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown mode %q (want 802.11|ezflow|penalty|diffq)", s)
+}
+
+// Point is one fully resolved grid point of a campaign.
+type Point struct {
+	Index    int         `json:"index"`
+	Label    string      `json:"label"`
+	Topology string      `json:"topology"`
+	Mode     ezflow.Mode `json:"mode"`
+	Hops     int         `json:"hops"`
+	RateBps  float64     `json:"rate_bps"`
+	CWCap    int         `json:"cw_cap"`
+}
+
+func (p *Point) set(axis, value string) error {
+	switch axis {
+	case "topology":
+		switch value {
+		case "chain", "testbed", "scenario1", "scenario2", "tree":
+			p.Topology = value
+		default:
+			return fmt.Errorf("campaign: unknown topology %q", value)
+		}
+	case "mode":
+		m, err := ParseMode(value)
+		if err != nil {
+			return err
+		}
+		p.Mode = m
+	case "hops":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("campaign: bad hop count %q", value)
+		}
+		p.Hops = n
+	case "rate":
+		r, err := strconv.ParseFloat(value, 64)
+		if err != nil || r <= 0 {
+			return fmt.Errorf("campaign: bad rate %q", value)
+		}
+		p.RateBps = r
+	case "cap":
+		c, err := strconv.Atoi(value)
+		if err != nil || c < 0 {
+			return fmt.Errorf("campaign: bad cw cap %q", value)
+		}
+		p.CWCap = c
+	default:
+		return fmt.Errorf("campaign: unknown axis %q", axis)
+	}
+	return nil
+}
+
+func (p Point) makeLabel() string {
+	b := fmt.Sprintf("topology=%s mode=%v", p.Topology, p.Mode)
+	if p.Topology == "chain" {
+		b += fmt.Sprintf(" hops=%d", p.Hops)
+	}
+	b += fmt.Sprintf(" rate=%g", p.RateBps)
+	if p.CWCap > 0 {
+		b += fmt.Sprintf(" cap=%d", p.CWCap)
+	}
+	return b
+}
+
+// Enumerate expands the spec's axes into the cartesian grid of points,
+// in deterministic axis-major order.
+func (s Spec) Enumerate() ([]Point, error) {
+	base := Point{Topology: "chain", Mode: ezflow.Mode80211, Hops: 4, RateBps: s.RateBps}
+	if base.RateBps <= 0 {
+		base.RateBps = 2e6
+	}
+	points := []Point{base}
+	for _, ax := range s.Axes {
+		next := make([]Point, 0, len(points)*len(ax.Values))
+		for _, p := range points {
+			for _, v := range ax.Values {
+				q := p
+				if err := q.set(ax.Name, v); err != nil {
+					return nil, err
+				}
+				next = append(next, q)
+			}
+		}
+		points = next
+	}
+	for i := range points {
+		points[i].Index = i
+		points[i].Label = points[i].makeLabel()
+	}
+	return points, nil
+}
+
+// DeriveSeed maps (campaign base seed, point label, replication index)
+// to one run's seed. It is a pure function of its arguments — an FNV-1a
+// hash of the label mixed with the base and replication through a
+// splitmix64 finaliser — so a campaign's runs are seeded identically
+// regardless of worker count or completion order, and different
+// replications of the same point get well-separated streams.
+func DeriveSeed(base int64, label string, rep int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	x := h.Sum64() + uint64(base)*0x9E3779B97F4A7C15 + uint64(rep)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	s := int64(x)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// RunResult is the scalar outcome of one replication.
+type RunResult struct {
+	Point int    `json:"point"`
+	Label string `json:"label"`
+	Rep   int    `json:"rep"`
+	Seed  int64  `json:"seed"`
+	// AggKbps is the cumulative mean goodput across flows.
+	AggKbps float64 `json:"agg_kbps"`
+	// Fairness is Jain's index over per-flow mean throughputs.
+	Fairness float64 `json:"fairness"`
+	// MeanDelaySec averages the per-flow mean end-to-end delays.
+	MeanDelaySec float64 `json:"mean_delay_sec"`
+	// MaxQueuePkts is the largest sampled MAC backlog at any node.
+	MaxQueuePkts float64 `json:"max_queue_pkts"`
+	// FlowKbps is each flow's mean goodput.
+	FlowKbps map[ezflow.FlowID]float64 `json:"flow_kbps"`
+
+	// binKbps accumulates the run's per-bin throughput samples across
+	// flows; the engine Merges these across replications into the pooled
+	// bin statistics of Aggregate.BinKbps.
+	binKbps stats.Welford
+}
+
+// Aggregate summarises one grid point across its replications.
+type Aggregate struct {
+	Point
+	Reps         int           `json:"n_reps"`
+	AggKbps      stats.Summary `json:"agg_kbps"`
+	Fairness     stats.Summary `json:"fairness"`
+	MeanDelaySec stats.Summary `json:"mean_delay_sec"`
+	MaxQueuePkts stats.Summary `json:"max_queue_pkts"`
+	// BinKbps pools every replication's per-bin throughput samples (a
+	// Welford merge), capturing within-run variability on top of the
+	// across-replication statistics above.
+	BinKbps stats.Summary `json:"bin_kbps"`
+}
+
+// Result is a completed campaign: per-point aggregates plus every
+// individual replication, both in deterministic grid order. Elapsed is
+// wall-clock time and deliberately excluded from serialisation so that
+// JSON output is reproducible.
+type Result struct {
+	Spec    Spec          `json:"spec"`
+	Points  []Aggregate   `json:"points"`
+	Runs    []RunResult   `json:"runs"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Engine executes campaigns on a worker pool.
+type Engine struct {
+	// Parallel is the maximum number of runs in flight; 0 selects
+	// GOMAXPROCS. Results do not depend on it.
+	Parallel int
+	// Progress, when non-nil, is called after every completed run with
+	// the number finished so far. Calls are serialised but arrive in
+	// completion order, not grid order.
+	Progress func(done, total int)
+}
+
+// Run executes the campaign and returns the aggregated result.
+func (e *Engine) Run(spec Spec) (*Result, error) {
+	points, err := spec.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	reps := spec.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	durSec := spec.DurationSec
+	if durSec <= 0 {
+		durSec = 600
+	}
+	parallel := e.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	jobs := make([]func() RunResult, 0, len(points)*reps)
+	for _, p := range points {
+		for rep := 0; rep < reps; rep++ {
+			p, rep := p, rep
+			jobs = append(jobs, func() RunResult { return runOne(spec, p, rep, durSec) })
+		}
+	}
+	start := time.Now()
+	runs := runAll(parallel, jobs, e.Progress)
+	res := &Result{Spec: spec, Runs: runs, Elapsed: time.Since(start)}
+
+	for i, p := range points {
+		agg := Aggregate{Point: p, Reps: reps}
+		var aggW, fairW, delayW, queueW, binW stats.Welford
+		for rep := 0; rep < reps; rep++ {
+			r := runs[i*reps+rep]
+			aggW.Add(r.AggKbps)
+			fairW.Add(r.Fairness)
+			delayW.Add(r.MeanDelaySec)
+			queueW.Add(r.MaxQueuePkts)
+			binW.Merge(r.binKbps)
+		}
+		agg.AggKbps = aggW.Summarize()
+		agg.Fairness = fairW.Summarize()
+		agg.MeanDelaySec = delayW.Summarize()
+		agg.MaxQueuePkts = queueW.Summarize()
+		agg.BinKbps = binW.Summarize()
+		res.Points = append(res.Points, agg)
+	}
+	return res, nil
+}
+
+func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
+	seed := DeriveSeed(spec.BaseSeed, p.Label, rep)
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = ezflow.Time(durSec * float64(ezflow.Second))
+	cfg.Mode = p.Mode
+	cfg.MAC.HardwareCWCap = p.CWCap
+
+	res := buildScenario(p, cfg).Run()
+	rr := RunResult{
+		Point: p.Index, Label: p.Label, Rep: rep, Seed: seed,
+		AggKbps:  res.AggKbps,
+		Fairness: res.Fairness,
+		FlowKbps: make(map[ezflow.FlowID]float64, len(res.Flows)),
+	}
+	// Iterate flows in sorted order: float accumulation order must not
+	// depend on map iteration, or multi-flow results lose bit-for-bit
+	// reproducibility.
+	flowIDs := make([]ezflow.FlowID, 0, len(res.Flows))
+	for f := range res.Flows {
+		flowIDs = append(flowIDs, f)
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	var delaySum float64
+	for _, f := range flowIDs {
+		fr := res.Flows[f]
+		rr.FlowKbps[f] = fr.MeanThroughputKbps
+		delaySum += fr.MeanDelaySec
+		for _, pt := range fr.Throughput.Points {
+			rr.binKbps.Add(pt.V)
+		}
+	}
+	if len(res.Flows) > 0 {
+		rr.MeanDelaySec = delaySum / float64(len(res.Flows))
+	}
+	for _, tr := range res.QueueTraces {
+		if m := tr.Max(); m > rr.MaxQueuePkts {
+			rr.MaxQueuePkts = m
+		}
+	}
+	return rr
+}
+
+func buildScenario(p Point, cfg ezflow.Config) *ezflow.Scenario {
+	rate := p.RateBps
+	switch p.Topology {
+	case "testbed":
+		return ezflow.NewTestbed(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: rate})
+	case "scenario1":
+		return ezflow.NewScenario1(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: rate})
+	case "scenario2":
+		return ezflow.NewScenario2(cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: rate},
+			ezflow.FlowSpec{Flow: 3, RateBps: rate})
+	case "tree":
+		return ezflow.NewTree(3, 2, cfg)
+	default:
+		return ezflow.NewChain(p.Hops, cfg, ezflow.FlowSpec{Flow: 1, RateBps: rate})
+	}
+}

@@ -1,0 +1,60 @@
+package campaign
+
+import "sync"
+
+// RunAll executes every job on a pool of at most parallel workers and
+// returns the results in submission order, regardless of completion
+// order. parallel <= 1 (or a single job) degenerates to a plain serial
+// loop with no goroutines, so callers can thread a user-facing
+// -parallel flag straight through.
+//
+// Jobs must be independent: they may not share mutable state. Every
+// scenario in this repository owns its own sim.Engine, so ezflow runs
+// satisfy this by construction.
+func RunAll[T any](parallel int, jobs []func() T) []T {
+	return runAll(parallel, jobs, nil)
+}
+
+func runAll[T any](parallel int, jobs []func() T, progress func(done, total int)) []T {
+	out := make([]T, len(jobs))
+	if parallel <= 1 || len(jobs) <= 1 {
+		for i, job := range jobs {
+			out[i] = job()
+			if progress != nil {
+				progress(i+1, len(jobs))
+			}
+		}
+		return out
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+		idx  = make(chan int)
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = jobs[i]()
+				if progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					progress(d, len(jobs))
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -33,11 +33,13 @@ func Bidirectional(o Options) *BidirectionalResult {
 		Report:      Report{Name: "Bidirectional TCP-like traffic (§2.3 claim)"},
 	}
 	dur := o.dur(1200)
-	for _, withEZ := range []bool{false, true} {
-		name := "802.11"
-		if withEZ {
-			name = "EZ-flow"
-		}
+	type bidirRun struct {
+		delivered   uint64
+		relayQ      float64
+		retransFrac float64
+	}
+	variants := []bool{false, true}
+	runs := fanOut(o, variants, func(withEZ bool) bidirRun {
 		eng := sim.NewEngine(o.Seed)
 		m := mesh.New(eng, phy.DefaultConfig(), mac.DefaultConfig())
 		path := make([]pkt.NodeID, 6)
@@ -65,11 +67,20 @@ func Bidirectional(o Options) *BidirectionalResult {
 		eng.Schedule(sim.Second, tick)
 		eng.Run(dur)
 
-		r.Delivered[name] = conn.Delivered
-		r.RelayQ[name] = sum / n
+		out := bidirRun{delivered: conn.Delivered, relayQ: sum / n}
 		if conn.Sent > 0 {
-			r.RetransFrac[name] = float64(conn.Retransmits) / float64(conn.Sent)
+			out.retransFrac = float64(conn.Retransmits) / float64(conn.Sent)
 		}
+		return out
+	})
+	for i, withEZ := range variants {
+		name := "802.11"
+		if withEZ {
+			name = "EZ-flow"
+		}
+		r.Delivered[name] = runs[i].delivered
+		r.RelayQ[name] = runs[i].relayQ
+		r.RetransFrac[name] = runs[i].retransFrac
 		r.Report.addf("%-8s delivered %6d pkts, N1 backlog %5.1f, retransmit fraction %.3f",
 			name, r.Delivered[name], r.RelayQ[name], r.RetransFrac[name])
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	root "ezflow"
+	"ezflow/internal/campaign"
 	"ezflow/internal/mesh"
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
@@ -24,6 +25,11 @@ type Options struct {
 	Seed int64
 	// Scale multiplies all simulated durations (1.0 = the paper's).
 	Scale float64
+	// Parallel is the maximum number of scenario runs in flight; 0 or 1
+	// runs serially. Every experiment submits its independent runs
+	// through the campaign pool and collects them in submission order,
+	// so reports are identical for any value.
+	Parallel int
 }
 
 // DefaultOptions runs at 1/4 of the paper durations — long enough for the
@@ -59,6 +65,18 @@ func (r *Report) String() string {
 // saturating is the paper's CBR source rate (2 Mb/s over a 1 Mb/s channel).
 const saturating = 2e6
 
+// fanOut runs one job per item on the campaign worker pool and returns
+// the results in item order. It is the bridge every experiment uses to
+// parallelise its independent scenario runs.
+func fanOut[A, T any](o Options, items []A, run func(A) T) []T {
+	jobs := make([]func() T, len(items))
+	for i, it := range items {
+		it := it
+		jobs[i] = func() T { return run(it) }
+	}
+	return campaign.RunAll(o.Parallel, jobs)
+}
+
 // baseConfig returns the shared simulation configuration.
 func baseConfig(o Options, mode root.Mode, duration sim.Time) root.Config {
 	cfg := root.DefaultConfig()
@@ -92,10 +110,14 @@ func Fig1(o Options) *Fig1Result {
 		Report:         Report{Name: "Figure 1: buffer evolution, 3-hop vs 4-hop, plain 802.11"},
 	}
 	dur := o.dur(1800)
-	for _, hops := range []int{3, 4} {
+	chains := []int{3, 4}
+	results := fanOut(o, chains, func(hops int) *root.Result {
 		cfg := baseConfig(o, root.Mode80211, dur)
 		sc := root.NewChain(hops, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
-		res := sc.Run()
+		return sc.Run()
+	})
+	for i, hops := range chains {
+		res := results[i]
 		r.MeanQueue[hops] = make(map[int]float64)
 		r.MaxQueue[hops] = make(map[int]float64)
 		for i := 1; i < hops; i++ {
@@ -132,17 +154,18 @@ var PaperTable1Kbps = []float64{845, 672, 408, 748, 746, 805, 648}
 func Table1(o Options) *Table1Result {
 	r := &Table1Result{Report: Report{Name: "Table 1: link capacities of F1 (testbed)"}}
 	dur := o.dur(1200)
-	for i := 0; i < 7; i++ {
+	links := []int{0, 1, 2, 3, 4, 5, 6}
+	results := fanOut(o, links, func(i int) *root.Result {
 		cfg := baseConfig(o, root.Mode80211, dur)
-		link := pkt.FlowID(1)
 		sc := root.NewScenario(cfg, func(eng *sim.Engine) *mesh.Mesh {
 			m := mesh.Testbed(eng, cfg.PHY, cfg.MAC)
 			// Route a private probe flow over just this link.
 			m.SetRoute(99, []pkt.NodeID{pkt.NodeID(i), pkt.NodeID(i + 1)})
 			return m
 		}, root.FlowSpec{Flow: 99, RateBps: saturating})
-		_ = link
-		res := sc.Run()
+		return sc.Run()
+	})
+	for i, res := range results {
 		fr := res.Flows[99]
 		r.MeanKbps = append(r.MeanKbps, fr.MeanThroughputKbps)
 		r.StdKbps = append(r.StdKbps, fr.StdThroughputKbps)
@@ -221,43 +244,58 @@ func (r *Fig4Table2Result) Get(s TestbedScenario, m root.Mode) *TestbedRun {
 func Fig4Table2(o Options) *Fig4Table2Result {
 	out := &Fig4Table2Result{Report: Report{Name: "Figure 4 + Table 2: testbed, ±EZ-Flow"}}
 	dur := o.dur(1800)
+	type cell struct {
+		scen TestbedScenario
+		mode root.Mode
+	}
+	var cells []cell
 	for _, scen := range []TestbedScenario{F1Alone, F2Alone, ParkingLot} {
 		for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
-			cfg := baseConfig(o, mode, dur)
-			cfg.MAC.HardwareCWCap = 1 << 10 // MadWifi constraint (§4.1)
-			var flows []root.FlowSpec
-			if scen == F1Alone || scen == ParkingLot {
-				flows = append(flows, root.FlowSpec{Flow: 1, RateBps: saturating})
-			}
-			if scen == F2Alone || scen == ParkingLot {
-				flows = append(flows, root.FlowSpec{Flow: 2, RateBps: saturating})
-			}
-			sc := root.NewTestbed(cfg, flows...)
-			res := sc.Run()
-			run := &TestbedRun{
-				Mode: mode, Scenario: scen,
-				FlowKbps:  make(map[pkt.FlowID]float64),
-				FlowStd:   make(map[pkt.FlowID]float64),
-				Fairness:  res.Fairness,
-				MeanQueue: res.MeanQueue,
-				FinalCW:   res.FinalCW,
-			}
-			for _, fs := range flows {
-				fr := res.Flows[fs.Flow]
-				run.FlowKbps[fs.Flow] = fr.MeanThroughputKbps
-				run.FlowStd[fs.Flow] = fr.StdThroughputKbps
-			}
-			out.Runs = append(out.Runs, run)
-			line := fmt.Sprintf("%-18s %-8s:", scen, mode)
-			for _, fs := range flows {
-				line += fmt.Sprintf("  %v %6.1f±%5.1f kb/s", fs.Flow,
-					run.FlowKbps[fs.Flow], run.FlowStd[fs.Flow])
-			}
-			if scen == ParkingLot {
-				line += fmt.Sprintf("  FI=%.2f", run.Fairness)
-			}
-			out.Report.addf("%s", line)
+			cells = append(cells, cell{scen, mode})
 		}
+	}
+	testbedFlows := func(scen TestbedScenario) []root.FlowSpec {
+		var flows []root.FlowSpec
+		if scen == F1Alone || scen == ParkingLot {
+			flows = append(flows, root.FlowSpec{Flow: 1, RateBps: saturating})
+		}
+		if scen == F2Alone || scen == ParkingLot {
+			flows = append(flows, root.FlowSpec{Flow: 2, RateBps: saturating})
+		}
+		return flows
+	}
+	results := fanOut(o, cells, func(c cell) *root.Result {
+		cfg := baseConfig(o, c.mode, dur)
+		cfg.MAC.HardwareCWCap = 1 << 10 // MadWifi constraint (§4.1)
+		sc := root.NewTestbed(cfg, testbedFlows(c.scen)...)
+		return sc.Run()
+	})
+	for i, c := range cells {
+		res := results[i]
+		flows := testbedFlows(c.scen)
+		run := &TestbedRun{
+			Mode: c.mode, Scenario: c.scen,
+			FlowKbps:  make(map[pkt.FlowID]float64),
+			FlowStd:   make(map[pkt.FlowID]float64),
+			Fairness:  res.Fairness,
+			MeanQueue: res.MeanQueue,
+			FinalCW:   res.FinalCW,
+		}
+		for _, fs := range flows {
+			fr := res.Flows[fs.Flow]
+			run.FlowKbps[fs.Flow] = fr.MeanThroughputKbps
+			run.FlowStd[fs.Flow] = fr.StdThroughputKbps
+		}
+		out.Runs = append(out.Runs, run)
+		line := fmt.Sprintf("%-18s %-8s:", c.scen, c.mode)
+		for _, fs := range flows {
+			line += fmt.Sprintf("  %v %6.1f±%5.1f kb/s", fs.Flow,
+				run.FlowKbps[fs.Flow], run.FlowStd[fs.Flow])
+		}
+		if c.scen == ParkingLot {
+			line += fmt.Sprintf("  FI=%.2f", run.Fairness)
+		}
+		out.Report.addf("%s", line)
 	}
 	out.Report.addf("paper: F1 119->148, F2 157->185; parking lot FI 0.55->0.96 with EZ-flow")
 	// Figure 4 view: first-relay buffers.

@@ -26,16 +26,26 @@ func HopSweep(o Options) *HopSweepResult {
 		Report:          Report{Name: "Hop sweep: throughput and first-relay backlog vs chain length"},
 	}
 	dur := o.dur(1200)
+	type cell struct {
+		mode root.Mode
+		hops int
+	}
+	var cells []cell
 	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
 		r.Throughput[mode] = make(map[int]float64)
 		r.FirstRelayQueue[mode] = make(map[int]float64)
 		for _, hops := range r.Hops {
-			cfg := baseConfig(o, mode, dur)
-			sc := root.NewChain(hops, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
-			res := sc.Run()
-			r.Throughput[mode][hops] = res.Flows[1].MeanThroughputKbps
-			r.FirstRelayQueue[mode][hops] = res.MeanQueue[1]
+			cells = append(cells, cell{mode, hops})
 		}
+	}
+	results := fanOut(o, cells, func(c cell) *root.Result {
+		cfg := baseConfig(o, c.mode, dur)
+		sc := root.NewChain(c.hops, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
+		return sc.Run()
+	})
+	for i, c := range cells {
+		r.Throughput[c.mode][c.hops] = results[i].Flows[1].MeanThroughputKbps
+		r.FirstRelayQueue[c.mode][c.hops] = results[i].MeanQueue[1]
 	}
 	for _, hops := range r.Hops {
 		r.Report.addf("%d hops: 802.11 %6.1f kb/s (q1 %4.1f) | EZ-flow %6.1f kb/s (q1 %4.1f)",
@@ -69,13 +79,22 @@ func TreeDownlink(o Options, branching, depth int) *TreeResult {
 		Report:   Report{Name: "Tree downlink (§7 extension): per-successor queues"},
 	}
 	dur := o.dur(1200)
-	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+	type treeRun struct {
+		res    *root.Result
+		queues int
+	}
+	modes := []root.Mode{root.Mode80211, root.ModeEZFlow}
+	runs := fanOut(o, modes, func(mode root.Mode) treeRun {
 		cfg := baseConfig(o, mode, dur)
 		sc := root.NewTree(branching, depth, cfg)
+		queues := len(sc.Mesh.Node(0).Queues())
+		return treeRun{res: sc.Run(), queues: queues}
+	})
+	for i, mode := range modes {
+		res := runs[i].res
 		if mode == root.Mode80211 {
-			r.GatewayQueues = len(sc.Mesh.Node(0).Queues())
+			r.GatewayQueues = runs[i].queues
 		}
-		res := sc.Run()
 		r.AggKbps[mode] = res.AggKbps
 		r.Fairness[mode] = res.Fairness
 		r.Report.addf("%-8s aggregate %6.1f kb/s  FI %.2f", mode, res.AggKbps, res.Fairness)
@@ -104,11 +123,15 @@ func RTSCTS(o Options) *RTSCTSResult {
 		Report:         Report{Name: "RTS/CTS ablation (§5.1: the handshake is useless at these ranges)"},
 	}
 	dur := o.dur(1200)
-	for _, use := range []bool{false, true} {
+	variants := []bool{false, true}
+	results := fanOut(o, variants, func(use bool) *root.Result {
 		cfg := baseConfig(o, root.Mode80211, dur)
 		cfg.MAC.UseRTSCTS = use
 		sc := root.NewChain(4, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
-		res := sc.Run()
+		return sc.Run()
+	})
+	for i, use := range variants {
+		res := results[i]
 		r.ThroughputKbps[use] = res.Flows[1].MeanThroughputKbps
 		r.DelaySec[use] = res.Flows[1].MeanDelaySec
 		label := "off"

@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+// TestParallelInvariance is the acceptance check for the campaign
+// rewiring: an experiment's report must be byte-identical whether its
+// runs execute serially or fanned out over workers, because every run is
+// independently seeded and results are collected in submission order.
+func TestParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	o := Options{Seed: 1, Scale: 0.02}
+	serial := Fig1(o).Report.String()
+	o.Parallel = 4
+	parallel := Fig1(o).Report.String()
+	if serial != parallel {
+		t.Errorf("Fig1 report differs with -parallel:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+
+	o = Options{Seed: 3, Scale: 0.02}
+	rs := RTSCTS(o).Report.String()
+	o.Parallel = 8
+	rp := RTSCTS(o).Report.String()
+	if rs != rp {
+		t.Errorf("RTSCTS report differs with -parallel:\nserial:\n%s\nparallel:\n%s", rs, rp)
+	}
+}

@@ -63,10 +63,13 @@ func runScenario(o Options, build func(root.Config, ...root.FlowSpec) *root.Scen
 			total = p.To
 		}
 	}
-	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+	modes := []root.Mode{root.Mode80211, root.ModeEZFlow}
+	runs := fanOut(o, modes, func(mode root.Mode) *root.Result {
 		cfg := baseConfig(o, mode, total)
-		sc := build(cfg, flows...)
-		r := sc.Run()
+		return build(cfg, flows...).Run()
+	})
+	for i, mode := range modes {
+		r := runs[i]
 		res.Stats[mode] = make(map[string]map[pkt.FlowID]PeriodStats)
 		res.Fairness[mode] = make(map[string]float64)
 		for _, p := range periods {

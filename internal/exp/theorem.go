@@ -34,38 +34,57 @@ func Theorem1(o Options) *Theorem1Result {
 		Report:        Report{Name: "Theorem 1 (§6): 4-hop random walk, Lyapunov stability"},
 	}
 
-	// Fixed equal windows: the unstable chain of [9].
-	cfg := markov.DefaultConfig()
-	cfg.EZEnabled = false
-	rng := rand.New(rand.NewSource(o.Seed))
-	fixed := markov.NewWalk(cfg, rng.Float64)
-	st := fixed.Run(steps)
+	// The fixed-window walk (the unstable chain of [9]) and the EZ-Flow
+	// walk of Theorem 1 draw from independent seeded generators, so they
+	// fan out through the campaign pool like any pair of scenario runs.
+	walks := fanOut(o, []bool{false, true}, func(ezEnabled bool) *markov.RunStats {
+		cfg := markov.DefaultConfig()
+		cfg.EZEnabled = ezEnabled
+		seed := o.Seed
+		if ezEnabled {
+			seed++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		st := markov.NewWalk(cfg, rng.Float64).Run(steps)
+		return &st
+	})
+	st, st2 := walks[0], walks[1]
 	r.FixedMax, r.FixedMean = float64(st.MaxBacklog), st.MeanBacklog
-
-	// EZ-Flow dynamics: Theorem 1.
-	cfg.EZEnabled = true
-	rng2 := rand.New(rand.NewSource(o.Seed + 1))
-	ezw := markov.NewWalk(cfg, rng2.Float64)
-	st2 := ezw.Run(steps)
 	r.EZMax, r.EZMean = float64(st2.MaxBacklog), st2.MeanBacklog
 	r.EZFinalCW = st2.FinalCW
 	r.RegionVisits = st2.RegionVisits
 
 	// Foster condition (6) with the proof's per-region k, under the
-	// stabilising window vector EZ-Flow discovers.
+	// stabilising window vector EZ-Flow discovers. Regions are evaluated
+	// in sorted order with independently seeded generators: the Monte
+	// Carlo estimates are a pure function of (seed, region), so the
+	// per-region jobs fan out like any other run.
 	reps := int(20000 * o.Scale)
 	if reps < 2000 {
 		reps = 2000
 	}
-	rng3 := rand.New(rand.NewSource(o.Seed + 2))
-	for region, k := range markov.FosterK {
+	var fosterRegions []string
+	for region := range markov.FosterK {
+		fosterRegions = append(fosterRegions, region)
+	}
+	sort.Strings(fosterRegions)
+	regionIdx := make([]int, len(fosterRegions))
+	for i := range regionIdx {
+		regionIdx[i] = i
+	}
+	drifts := fanOut(o, regionIdx, func(i int) float64 {
+		region := fosterRegions[i]
+		rng := rand.New(rand.NewSource(o.Seed + 2 + int64(i)))
 		w := markov.NewWalk(markov.Config{
 			K: 4, InitCW: 32, EZEnabled: false,
 			BMin: 0.05, BMax: 20, MinCW: 16, MaxCW: 1 << 15,
-		}, rng3.Float64)
+		}, rng.Float64)
 		copy(w.CW, []int{1 << 11, 16, 16, 16})
 		setRegionState(w, region)
-		r.DriftByRegion[region] = w.DriftK(k, reps, rng3.Float64)
+		return w.DriftK(markov.FosterK[region], reps, rng.Float64)
+	})
+	for i, region := range fosterRegions {
+		r.DriftByRegion[region] = drifts[i]
 	}
 
 	r.Report.addf("fixed cw=32 walk over %d slots: max backlog %.0f, mean %.1f (unstable, grows)",

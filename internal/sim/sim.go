@@ -111,14 +111,13 @@ type Engine struct {
 	queue  eventQueue
 	seq    uint64
 	rng    *rand.Rand
-	stopAt Time
 	halted bool
 	fired  uint64
 }
 
 // NewEngine returns an engine whose random generator is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed)), stopAt: -1}
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now reports the current virtual time.

@@ -43,6 +43,63 @@ func (w *Welford) Var() float64 {
 // Std reports the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
 
+// Merge folds another accumulator into w using the parallel-combination
+// rule of Chan et al., so that partial statistics computed on separate
+// workers combine into exactly the moments a single-stream Add sequence
+// would have produced. The zero Welford is a valid identity element.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Summary is a serialisable snapshot of a Welford accumulator with the
+// 95% confidence half-width the campaign reports attach to every metric.
+type Summary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	// CI95 is the half-width of the two-sided 95% confidence interval of
+	// the mean (Student t for small samples, 0 with fewer than 2 samples).
+	CI95 float64 `json:"ci95"`
+}
+
+// Summarize snapshots w into a Summary.
+func (w *Welford) Summarize() Summary {
+	s := Summary{N: w.n, Mean: w.Mean(), Std: w.Std()}
+	if w.n >= 2 {
+		s.CI95 = tCrit95(w.n-1) * s.Std / math.Sqrt(float64(w.n))
+	}
+	return s
+}
+
+// t95 holds two-sided 95% Student-t critical values for df 1..30; beyond
+// that the normal approximation 1.96 is within half a percent.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit95(df uint64) float64 {
+	if df == 0 {
+		return 0
+	}
+	if df <= uint64(len(t95)) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
 // JainIndex computes Jain's fairness index over per-flow throughputs:
 // (Σx)² / (n·Σx²). It returns 1 for an empty input by convention and is
 // always in (0, 1] for non-negative, not-all-zero inputs.

@@ -250,3 +250,94 @@ func TestPropertyFlowMeterConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWelfordMergeIdentity checks the parallel-merge contract: splitting
+// a stream at any cut point and merging the two partial accumulators
+// reproduces the single-stream moments exactly (up to float rounding).
+func TestWelfordMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*17 + 3
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 128, 256, len(xs)} {
+		var a, b Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: N = %d, want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+			t.Errorf("cut %d: mean %v, want %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Var()-whole.Var()) > 1e-9*whole.Var() {
+			t.Errorf("cut %d: var %v, want %v", cut, a.Var(), whole.Var())
+		}
+	}
+}
+
+func TestWelfordMergeManyShards(t *testing.T) {
+	// Merging k single-sample shards must equal streaming Add, the way
+	// the campaign engine pools per-replication bin statistics.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var whole, merged Welford
+	for _, x := range xs {
+		whole.Add(x)
+		var shard Welford
+		shard.Add(x)
+		merged.Merge(shard)
+	}
+	if merged.N() != whole.N() || math.Abs(merged.Var()-whole.Var()) > 1e-12 {
+		t.Fatalf("sharded merge: n=%d var=%v, want n=%d var=%v",
+			merged.N(), merged.Var(), whole.N(), whole.Var())
+	}
+	// Identity element: merging a zero accumulator changes nothing.
+	before := merged
+	merged.Merge(Welford{})
+	if merged != before {
+		t.Error("merging the zero Welford is not the identity")
+	}
+	var zero Welford
+	zero.Merge(whole)
+	if zero != whole {
+		t.Error("merging into the zero Welford must copy")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var w Welford
+	if s := w.Summarize(); s.N != 0 || s.CI95 != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	s := w.Summarize()
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary moments: %+v", s)
+	}
+	// df = 7 -> t = 2.365.
+	want := 2.365 * s.Std / math.Sqrt(8)
+	if math.Abs(s.CI95-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, want)
+	}
+	// Large samples converge to the normal critical value.
+	var big Welford
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i % 10))
+	}
+	bs := big.Summarize()
+	want = 1.96 * bs.Std / math.Sqrt(1000)
+	if math.Abs(bs.CI95-want) > 1e-9 {
+		t.Errorf("large-sample CI95 = %v, want %v", bs.CI95, want)
+	}
+}
