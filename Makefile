@@ -1,0 +1,40 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# targets, so `make check bench` locally reproduces a full CI pass.
+
+GO ?= go
+
+.PHONY: check test lint bench bench-all clean
+
+# check is the tier-1 gate: format, vet, doc lint, build, race tests.
+check: lint
+	test -z "$$($(GO)fmt -l .)" || { $(GO)fmt -l .; exit 1; }
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+# lint enforces the godoc conventions (package docs everywhere, exported
+# symbol docs in the public ezflow package).
+lint:
+	$(GO) run ./tools/lintdoc
+
+# bench runs the hot-path benchmarks guarding the simulator core and
+# archives them as BENCH_PR2.json (uploaded as a CI artifact, committed
+# when the recorded trajectory changes).
+bench:
+	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput' -benchmem \
+	    -run='^$$' -benchtime=20x . | tee /tmp/bench.out
+	$(GO) test -bench='^BenchmarkEngine' -benchmem -run='^$$' -benchtime=1s \
+	    ./internal/sim | tee -a /tmp/bench.out
+	$(GO) run ./tools/benchjson < /tmp/bench.out > BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+# bench-all additionally regenerates every figure/table benchmark of the
+# paper (slow).
+bench-all:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+clean:
+	rm -f /tmp/bench.out

@@ -10,6 +10,8 @@
 //	           -reps 10 -parallel 8 -json out.json
 //	ezcampaign -sweep topology=chain,testbed -sweep mode=802.11,ezflow \
 //	           -reps 5 -duration 120 -csv runs.csv
+//	ezcampaign -sweep topology=grid,random -sweep mode=802.11,ezflow -reps 5
+//	ezcampaign -sweep topology=random -sweep nodes=8,12,16,24 -reps 10
 //	ezcampaign -sweep hops=3..6 -reps 3 -quiet -json -
 //
 // Results are deterministic: the same spec and seed produce byte-identical
@@ -47,7 +49,7 @@ func (s *sweepFlags) Set(v string) error {
 
 func main() {
 	var sweeps sweepFlags
-	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; hops ranges like 2..8 expand); axes: topology|mode|hops|rate|cap")
+	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; integer ranges like 2..8 expand); axes: topology (chain|testbed|scenario1|scenario2|tree|grid|random) | mode | hops (chain length / grid side) | rate | cap | nodes (random-disk size)")
 	var (
 		name     = flag.String("name", "campaign", "campaign name for the report")
 		reps     = flag.Int("reps", 5, "seed replications per grid point")

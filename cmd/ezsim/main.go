@@ -7,9 +7,12 @@
 //	ezsim -topology chain -hops 4 -mode ezflow -duration 600 -seed 1
 //	ezsim -topology scenario1 -mode 802.11 -trace-dir /tmp/traces
 //	ezsim -topology testbed -mode ezflow -cap 1024
+//	ezsim -topology grid -grid-w 4 -grid-h 4 -mode ezflow
+//	ezsim -topology random -nodes 12 -radius 500 -seed 3
 //
-// Topologies: chain (with -hops), testbed, scenario1, scenario2, tree.
-// Modes: 802.11, ezflow, penalty, diffq.
+// Topologies: chain (with -hops), testbed, scenario1, scenario2, tree,
+// grid (with -grid-w/-grid-h), random (with -nodes/-radius; placement is
+// seeded by -seed). Modes: 802.11, ezflow, penalty, diffq.
 package main
 
 import (
@@ -26,8 +29,12 @@ import (
 
 func main() {
 	var (
-		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2|tree")
+		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2|tree|grid|random")
 		hops     = flag.Int("hops", 4, "number of hops for the chain topology")
+		gridW    = flag.Int("grid-w", 4, "grid width for -topology grid")
+		gridH    = flag.Int("grid-h", 4, "grid height for -topology grid")
+		nodes    = flag.Int("nodes", 12, "node count for -topology random")
+		radius   = flag.Float64("radius", 0, "disk radius in metres for -topology random (0 = auto)")
 		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -76,6 +83,26 @@ func main() {
 			ezflow.FlowSpec{Flow: 3, RateBps: *rate})
 	case "tree":
 		sc = ezflow.NewTree(3, 2, cfg)
+	case "grid":
+		if *gridW < 1 || *gridH < 1 || *gridW**gridH < 2 {
+			fatalf("grid needs -grid-w/-grid-h >= 1 with at least 2 nodes (got %dx%d)", *gridW, *gridH)
+		}
+		specs := []ezflow.FlowSpec{{Flow: 1, RateBps: *rate}}
+		if *gridW > 1 && *gridH > 1 {
+			specs = append(specs, ezflow.FlowSpec{Flow: 2, RateBps: *rate})
+		}
+		sc = ezflow.NewGrid(*gridW, *gridH, cfg, specs...)
+	case "random":
+		if *nodes < 2 {
+			fatalf("random needs -nodes >= 2 (got %d)", *nodes)
+		}
+		// RandomDisk panics when no connected placement exists (radius too
+		// large for the transmission range); surface that as a clean CLI
+		// error rather than a stack trace.
+		sc = buildOrFail(func() *ezflow.Scenario {
+			return ezflow.NewRandom(*nodes, *radius, cfg,
+				ezflow.FlowSpec{Flow: 1, RateBps: *rate})
+		})
 	default:
 		fatalf("unknown topology %q", *topology)
 	}
@@ -205,6 +232,17 @@ func writeTraces(res *ezflow.Result, dir string) error {
 	}
 	_, err := b.WriteDir(dir)
 	return err
+}
+
+// buildOrFail converts topology-construction panics into the CLI's
+// one-line error exit.
+func buildOrFail(build func() *ezflow.Scenario) *ezflow.Scenario {
+	defer func() {
+		if r := recover(); r != nil {
+			fatalf("%v", r)
+		}
+	}()
+	return build()
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,56 @@
+// Grid walkthrough: two gateway-bound flows crossing a 4x4 lattice — a
+// topology beyond the paper's own networks, built with the generated
+// topology library.
+//
+// Flow 1 travels the long way round (top row, then down the left column,
+// 6 hops); flow 2 takes the bottom row (3 hops). The two routes share
+// only the gateway N0, so unlike the paper's Scenario 1 they never merge
+// into one queue — all of their coupling happens over the air, through
+// carrier sense and collisions where the paths approach each other. Under
+// plain 802.11 the relay feeding the gateway builds a deep standing
+// queue; EZ-Flow pushes that backlog upstream toward the sources, the
+// same buffer-equalising behaviour the paper shows on chains.
+//
+// Run it:
+//
+//	go run ./examples/grid
+//
+// For a single run with ASCII plots:
+//
+//	go run ./cmd/ezsim -topology grid -grid-w 4 -grid-h 4 -mode ezflow -plot
+package main
+
+import (
+	"fmt"
+
+	"ezflow"
+)
+
+func main() {
+	for _, mode := range []ezflow.Mode{ezflow.Mode80211, ezflow.ModeEZFlow} {
+		cfg := ezflow.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Duration = 300 * ezflow.Second
+
+		// NewGrid installs flow 1 from the far corner N15 and flow 2 from
+		// the bottom-right corner N3; both saturate at 2 Mb/s.
+		sc := ezflow.NewGrid(4, 4, cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: 2e6},
+			ezflow.FlowSpec{Flow: 2, RateBps: 2e6})
+		res := sc.Run()
+
+		fmt.Printf("%-8s  F1(6 hops) %6.1f kb/s   F2(3 hops) %6.1f kb/s   Jain FI %.3f\n",
+			mode,
+			res.Flows[1].MeanThroughputKbps,
+			res.Flows[2].MeanThroughputKbps,
+			res.Fairness)
+
+		// The relays that buffer each flow: N8 is flow 1's corner turn,
+		// N1/N2 carry flow 2 toward the gateway.
+		fmt.Printf("          mean queues: N8=%.1f N12=%.1f N1=%.1f N2=%.1f\n",
+			res.MeanQueue[8], res.MeanQueue[12], res.MeanQueue[1], res.MeanQueue[2])
+	}
+	fmt.Println("\nEZ-Flow drains the standing queue at the gateway's feeder relay —")
+	fmt.Println("without a single control message. Try -topology random next:")
+	fmt.Println("  go run ./cmd/ezsim -topology random -nodes 16 -seed 5 -mode ezflow")
+}

@@ -8,7 +8,10 @@
 // control mode (plain 802.11, EZ-Flow, static penalty, or DiffQ-style
 // message passing), and the instrumentation the paper reports: per-flow
 // throughput and delay series, relay queue traces, contention-window
-// traces, and Jain's fairness index.
+// traces, and Jain's fairness index. Topology constructors cover the
+// paper's networks (chains, the 9-router testbed, the merge and crossing
+// scenarios, §7 trees) plus generated ones — NewGrid lattices and
+// NewRandom seeded random-disk deployments with validated connectivity.
 //
 // Quickstart:
 //
@@ -20,10 +23,12 @@
 //	fmt.Println(res.Flows[1].MeanThroughputKbps)
 //
 // Scenarios are single-threaded and deterministic, but independent: each
-// owns its engine, so many can run concurrently. internal/campaign builds
-// on that to fan parameter sweeps with multi-seed replications out across
-// worker pools and aggregate them with confidence intervals (see
-// cmd/ezcampaign, and cmd/ezbench's -parallel flag).
+// owns its engine and its packet/frame pool, so many can run concurrently.
+// internal/campaign builds on that to fan parameter sweeps with multi-seed
+// replications out across worker pools and aggregate them with confidence
+// intervals (see cmd/ezcampaign, and cmd/ezbench's -parallel flag). The
+// forwarding hot path is allocation-free in steady state (pooled events,
+// packets and frames); BenchmarkChainRun guards the budget.
 package ezflow
 
 import (
@@ -38,6 +43,7 @@ import (
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
 	"ezflow/internal/stats"
+	"ezflow/internal/trace"
 	"ezflow/internal/traffic"
 )
 
@@ -72,6 +78,7 @@ const (
 	ModeDiffQ
 )
 
+// String returns the paper's display name for the mode.
 func (m Mode) String() string {
 	switch m {
 	case Mode80211:
@@ -150,8 +157,9 @@ type Scenario struct {
 	Mesh    *mesh.Mesh
 	Sources map[FlowID]*traffic.Source
 	Meters  map[FlowID]*stats.FlowMeter
-	// QueueTraces samples each relay's forwarded-traffic backlog.
-	QueueTraces map[NodeID]*stats.Sampler
+	// QueueTraces samples each relay's forwarded-traffic backlog,
+	// batching samples through preallocated rings.
+	QueueTraces map[NodeID]*trace.Recorder
 	// Deployment is non-nil in ModeEZFlow.
 	Deployment *ez.Deployment
 	// DiffQ is non-nil in ModeDiffQ.
@@ -255,6 +263,43 @@ func NewTree(branching, depth int, cfg Config, flows ...FlowSpec) *Scenario {
 	return wire(cfg, eng, m, flows)
 }
 
+// NewGrid builds a w×h lattice scenario: gateway N0 at the origin, flow 1
+// from the far corner and (in 2-D grids) flow 2 from the bottom-right
+// corner, both routed to the gateway (see mesh.Grid for the geometry).
+// With no explicit flows, every installed route gets a saturating 2 Mb/s
+// CBR source.
+func NewGrid(w, h int, cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.Grid(eng, w, h, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, defaultFlows(m, flows))
+}
+
+// NewRandom builds an n-node random-disk scenario: gateway at the disk
+// centre, nodes placed uniformly from cfg.Seed (connectivity-validated,
+// resampled until the range graph is connected), and flow 1 from the
+// farthest node to the gateway along a deterministic shortest-hop path.
+// radius <= 0 selects mesh.DefaultDiskRadius(n). The same (n, radius,
+// cfg.Seed) always yields the identical topology.
+func NewRandom(n int, radius float64, cfg Config, flows ...FlowSpec) *Scenario {
+	fillDefaults(&cfg)
+	eng := sim.NewEngine(cfg.Seed)
+	m := mesh.RandomDisk(eng, n, radius, cfg.Seed, cfg.PHY, cfg.MAC)
+	return wire(cfg, eng, m, defaultFlows(m, flows))
+}
+
+// defaultFlows returns the given flows, or a saturating 2 Mb/s CBR spec
+// per installed route when none were passed.
+func defaultFlows(m *mesh.Mesh, flows []FlowSpec) []FlowSpec {
+	if len(flows) > 0 {
+		return flows
+	}
+	for _, f := range m.Flows() {
+		flows = append(flows, FlowSpec{Flow: f, RateBps: 2e6})
+	}
+	return flows
+}
+
 func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario {
 	sc := &Scenario{
 		Cfg:         cfg,
@@ -262,7 +307,7 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 		Mesh:        m,
 		Sources:     make(map[FlowID]*traffic.Source),
 		Meters:      make(map[FlowID]*stats.FlowMeter),
-		QueueTraces: make(map[NodeID]*stats.Sampler),
+		QueueTraces: make(map[NodeID]*trace.Recorder),
 		specs:       flows,
 	}
 
@@ -310,7 +355,7 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 	// Queue traces at every node that relays for some flow.
 	for _, n := range m.Nodes() {
 		nn := n
-		sc.QueueTraces[n.ID] = stats.NewSampler(eng,
+		sc.QueueTraces[n.ID] = trace.NewRecorder(eng,
 			fmt.Sprintf("queue-%v", n.ID), cfg.QueueSample,
 			func() float64 { return float64(nn.MAC.TotalQueued()) })
 	}

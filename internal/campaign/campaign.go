@@ -53,9 +53,11 @@ type Spec struct {
 }
 
 // Axis is one swept parameter. Known names: "topology"
-// (chain|testbed|scenario1|scenario2|tree), "mode"
-// (802.11|ezflow|penalty|diffq), "hops" (chain length), "rate" (bit/s),
-// "cap" (hardware CWmin cap, 0 = none).
+// (chain|testbed|scenario1|scenario2|tree|grid|random), "mode"
+// (802.11|ezflow|penalty|diffq), "hops" (chain length; also the side of a
+// grid topology, clamped to >= 2), "rate" (bit/s), "cap" (hardware CWmin
+// cap, 0 = none), and "nodes" (node count of the random topology, whose
+// placement is seeded per replication).
 type Axis struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values"`
@@ -70,9 +72,9 @@ func ParseSweep(s string) (Axis, error) {
 	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	switch name {
-	case "topology", "mode", "hops", "rate", "cap":
+	case "topology", "mode", "hops", "rate", "cap", "nodes":
 	default:
-		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap)", name)
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap|nodes)", name)
 	}
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
@@ -122,13 +124,14 @@ type Point struct {
 	Hops     int         `json:"hops"`
 	RateBps  float64     `json:"rate_bps"`
 	CWCap    int         `json:"cw_cap"`
+	Nodes    int         `json:"nodes"`
 }
 
 func (p *Point) set(axis, value string) error {
 	switch axis {
 	case "topology":
 		switch value {
-		case "chain", "testbed", "scenario1", "scenario2", "tree":
+		case "chain", "testbed", "scenario1", "scenario2", "tree", "grid", "random":
 			p.Topology = value
 		default:
 			return fmt.Errorf("campaign: unknown topology %q", value)
@@ -157,16 +160,37 @@ func (p *Point) set(axis, value string) error {
 			return fmt.Errorf("campaign: bad cw cap %q", value)
 		}
 		p.CWCap = c
+	case "nodes":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 2 {
+			return fmt.Errorf("campaign: bad node count %q", value)
+		}
+		p.Nodes = n
 	default:
 		return fmt.Errorf("campaign: unknown axis %q", axis)
 	}
 	return nil
 }
 
+// gridSide maps the hops axis to the side of a grid topology, clamped to
+// 2 (a 1×1 "grid" has no route to install). Label and scenario builder
+// share this so the report can never disagree with the run.
+func (p Point) gridSide() int {
+	if p.Hops < 2 {
+		return 2
+	}
+	return p.Hops
+}
+
 func (p Point) makeLabel() string {
 	b := fmt.Sprintf("topology=%s mode=%v", p.Topology, p.Mode)
-	if p.Topology == "chain" {
+	switch p.Topology {
+	case "chain":
 		b += fmt.Sprintf(" hops=%d", p.Hops)
+	case "grid":
+		b += fmt.Sprintf(" side=%d", p.gridSide())
+	case "random":
+		b += fmt.Sprintf(" nodes=%d", p.Nodes)
 	}
 	b += fmt.Sprintf(" rate=%g", p.RateBps)
 	if p.CWCap > 0 {
@@ -178,7 +202,7 @@ func (p Point) makeLabel() string {
 // Enumerate expands the spec's axes into the cartesian grid of points,
 // in deterministic axis-major order.
 func (s Spec) Enumerate() ([]Point, error) {
-	base := Point{Topology: "chain", Mode: ezflow.Mode80211, Hops: 4, RateBps: s.RateBps}
+	base := Point{Topology: "chain", Mode: ezflow.Mode80211, Hops: 4, RateBps: s.RateBps, Nodes: 12}
 	if base.RateBps <= 0 {
 		base.RateBps = 2e6
 	}
@@ -396,6 +420,17 @@ func buildScenario(p Point, cfg ezflow.Config) *ezflow.Scenario {
 			ezflow.FlowSpec{Flow: 3, RateBps: rate})
 	case "tree":
 		return ezflow.NewTree(3, 2, cfg)
+	case "grid":
+		side := p.gridSide()
+		return ezflow.NewGrid(side, side, cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: rate},
+			ezflow.FlowSpec{Flow: 2, RateBps: rate})
+	case "random":
+		// Placement is seeded by the replication's run seed (already in
+		// cfg.Seed), so each replication samples a fresh connected
+		// deployment while staying fully reproducible.
+		return ezflow.NewRandom(p.Nodes, 0, cfg,
+			ezflow.FlowSpec{Flow: 1, RateBps: rate})
 	default:
 		return ezflow.NewChain(p.Hops, cfg, ezflow.FlowSpec{Flow: 1, RateBps: rate})
 	}

@@ -92,11 +92,10 @@ func (b *BOE) dropIndex(id uint16, idx int) {
 			break
 		}
 	}
-	if len(xs) == 0 {
-		delete(b.pos, id)
-	} else {
-		b.pos[id] = xs
-	}
+	// Keep the (possibly empty) slice in the map: once the ring has cycled
+	// through an identifier, its slot capacity is reused forever, so
+	// steady-state RecordSent stops allocating.
+	b.pos[id] = xs
 }
 
 // OnSniff processes a frame overheard on the air. Only data frames
@@ -113,8 +112,8 @@ func (b *BOE) OnSniff(f *pkt.Frame) {
 		return
 	}
 	id := f.Payload.Checksum16()
-	idxs, ok := b.pos[id]
-	if !ok {
+	idxs := b.pos[id]
+	if len(idxs) == 0 {
 		return
 	}
 	b.Matched++

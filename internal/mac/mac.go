@@ -165,12 +165,15 @@ func (q *Queue) SetCWmin(cw int) {
 }
 
 // Enqueue appends p; it reports false (and counts a drop) on overflow.
+// On success the queue takes its own reference on p (released when the
+// packet leaves the queue), so callers keep whatever references they hold.
 func (q *Queue) Enqueue(p *pkt.Packet) bool {
 	if len(q.buf) >= q.mac.cfg.QueueCap {
 		q.Dropped++
 		q.mac.notifyDrop(p, DropQueueOverflow)
 		return false
 	}
+	p.Retain()
 	q.buf = append(q.buf, p)
 	q.Enqueued++
 	if len(q.buf) > q.PeakDepth {
@@ -211,10 +214,11 @@ const (
 
 // MAC is one station's 802.11 DCF instance.
 type MAC struct {
-	id  pkt.NodeID
-	eng *sim.Engine
-	ch  *phy.Channel
-	cfg Config
+	id   pkt.NodeID
+	eng  *sim.Engine
+	ch   *phy.Channel
+	pool *pkt.Pool
+	cfg  Config
 
 	queues  []*Queue
 	rr      int // round-robin cursor over queues
@@ -229,13 +233,25 @@ type MAC struct {
 	slots      int      // backoff slots remaining
 	cntStart   sim.Time // when the current countdown began
 	cntIFS     sim.Time // the inter-frame space used by this countdown
-	timer      *sim.Event
+	timer      sim.Timer
 	cur        *Queue   // queue that owns the current attempt
 	attempts   int      // attempts for the head frame of cur
 	retryCW    int      // current retry contention window
 	navUntil   sim.Time // virtual carrier sense (RTS/CTS)
 	pendingCtl *pkt.Frame
+	ctlSaved   txState                              // state to restore after a control response
 	lastSeq    map[pkt.NodeID]map[pkt.FlowID]uint64 // duplicate filter
+
+	// Bound callbacks, built once in New so the per-frame timers (backoff
+	// expiry, ACK timeout, air-time completion, SIFS-deferred responses)
+	// schedule without allocating a closure.
+	accessWonFn  func()
+	ackTimeoutFn func()
+	dataEndFn    func()
+	rtsEndFn     func()
+	sendDataFn   func()
+	sendCtlFn    func()
+	ctlDoneFn    func()
 
 	// Stats
 	TxData    uint64
@@ -261,9 +277,25 @@ func New(eng *sim.Engine, ch *phy.Channel, id pkt.NodeID, pos phy.Position, cfg 
 		id:      id,
 		eng:     eng,
 		ch:      ch,
+		pool:    ch.Pool(),
 		cfg:     cfg,
 		lastSeq: make(map[pkt.NodeID]map[pkt.FlowID]uint64),
 	}
+	m.accessWonFn = m.accessWon
+	m.ackTimeoutFn = m.ackTimeout
+	m.dataEndFn = func() {
+		if m.state == stTxData {
+			m.state = stWaitAck
+		}
+	}
+	m.rtsEndFn = func() {
+		if m.state == stTxData {
+			m.state = stWaitCTS
+		}
+	}
+	m.sendDataFn = m.sendData
+	m.sendCtlFn = m.sendCtl
+	m.ctlDoneFn = m.ctlDone
 	ch.AddNode(id, pos, m)
 	return m
 }
@@ -374,7 +406,9 @@ func (m *MAC) Overhear(f *pkt.Frame, ci pkt.CaptureInfo) {
 func (m *MAC) rxData(f *pkt.Frame) {
 	// Always acknowledge a correctly decoded unicast data frame, even a
 	// duplicate (the original ACK may have been lost).
-	m.scheduleCtl(&pkt.Frame{Type: pkt.FrameAck, TxSrc: m.id, TxDst: f.TxSrc})
+	ack := m.pool.Frame()
+	ack.Type, ack.TxSrc, ack.TxDst = pkt.FrameAck, m.id, f.TxSrc
+	m.scheduleCtl(ack)
 	p := f.Payload
 	if p == nil {
 		return
@@ -401,8 +435,7 @@ func (m *MAC) rxAck(f *pkt.Frame) {
 	}
 	m.timer.Cancel()
 	m.TxAcked++
-	p := m.cur.pop()
-	_ = p
+	m.cur.pop().Release()
 	m.cur = nil
 	m.attempts = 0
 	m.retryCW = 0
@@ -418,7 +451,9 @@ func (m *MAC) rxRTS(f *pkt.Frame) {
 	if nav < 0 {
 		nav = 0
 	}
-	m.scheduleCtl(&pkt.Frame{Type: pkt.FrameCTS, TxSrc: m.id, TxDst: f.TxSrc, NAV: nav})
+	cts := m.pool.Frame()
+	cts.Type, cts.TxSrc, cts.TxDst, cts.NAV = pkt.FrameCTS, m.id, f.TxSrc, nav
+	m.scheduleCtl(cts)
 }
 
 func (m *MAC) rxCTS(f *pkt.Frame) {
@@ -428,46 +463,61 @@ func (m *MAC) rxCTS(f *pkt.Frame) {
 	m.timer.Cancel()
 	// Send the data frame after SIFS.
 	m.state = stTxCtl // transiently; sendData moves us to stTxData
-	m.eng.Schedule(SIFS, func() { m.sendData() })
+	m.eng.ScheduleFunc(SIFS, m.sendDataFn)
 }
 
 // scheduleCtl queues a control response (ACK or CTS) to go out after SIFS.
+// At most one response is pending at a time; a newer one replaces (and
+// recycles) an older response that has not gone out yet.
 func (m *MAC) scheduleCtl(f *pkt.Frame) {
+	if m.pendingCtl != nil {
+		m.pool.PutFrame(m.pendingCtl)
+	}
 	m.pendingCtl = f
-	m.eng.Schedule(SIFS, func() {
-		ctl := m.pendingCtl
-		m.pendingCtl = nil
-		if ctl == nil {
-			return
+	m.eng.ScheduleFunc(SIFS, m.sendCtlFn)
+}
+
+// sendCtl fires SIFS after a control response was queued and puts it on
+// the air if the transmitter is free.
+func (m *MAC) sendCtl() {
+	ctl := m.pendingCtl
+	m.pendingCtl = nil
+	if ctl == nil {
+		return
+	}
+	if m.state == stTxData || m.state == stTxCtl || m.state == stWaitCTS {
+		m.pool.PutFrame(ctl)
+		return // transmitter occupied; give up on the response
+	}
+	// A control response preempts any countdown in progress; the frozen
+	// backoff resumes afterwards.
+	prev := m.state
+	if prev == stCountdown {
+		m.freeze()
+		m.state = stDefer
+	}
+	m.ctlSaved = m.state
+	m.state = stTxCtl
+	end := m.ch.Transmit(m.id, ctl)
+	m.eng.ScheduleFuncAt(end, m.ctlDoneFn)
+}
+
+// ctlDone restores the pre-response state once the control frame has left
+// the air.
+func (m *MAC) ctlDone() {
+	if m.state != stTxCtl {
+		return
+	}
+	m.state = m.ctlSaved
+	if m.cur != nil || m.anyBacklog() {
+		if m.state == stIdle {
+			m.kick()
+		} else {
+			m.resume()
 		}
-		if m.state == stTxData || m.state == stTxCtl || m.state == stWaitCTS {
-			return // transmitter occupied; give up on the response
-		}
-		// A control response preempts any countdown in progress; the
-		// frozen backoff resumes afterwards.
-		prev := m.state
-		if prev == stCountdown {
-			m.freeze()
-			m.state = stDefer
-		}
-		saved := m.state
-		m.state = stTxCtl
-		end := m.ch.Transmit(m.id, ctl)
-		m.eng.ScheduleAt(end, func() {
-			if m.state == stTxCtl {
-				m.state = saved
-				if m.cur != nil || m.anyBacklog() {
-					if m.state == stIdle {
-						m.kick()
-					} else {
-						m.resume()
-					}
-				} else {
-					m.state = stIdle
-				}
-			}
-		})
-	})
+	} else {
+		m.state = stIdle
+	}
 }
 
 // --- transmit path ---------------------------------------------------------
@@ -547,7 +597,7 @@ func (m *MAC) resume() {
 	m.state = stCountdown
 	m.cntStart = m.eng.Now()
 	m.cntIFS = ifs
-	m.timer = m.eng.Schedule(wait, func() { m.accessWon() })
+	m.timer = m.eng.Schedule(wait, m.accessWonFn)
 }
 
 // freeze suspends the countdown, crediting fully elapsed slots.
@@ -586,14 +636,12 @@ func (m *MAC) accessWon() {
 }
 
 func (m *MAC) sendData() {
-	p := m.cur.head()
-	f := &pkt.Frame{
-		Type:    pkt.FrameData,
-		TxSrc:   m.id,
-		TxDst:   m.cur.next,
-		Payload: p,
-		Retry:   m.attempts > 0,
-	}
+	f := m.pool.Frame()
+	f.Type = pkt.FrameData
+	f.TxSrc = m.id
+	f.TxDst = m.cur.next
+	f.Payload = m.cur.head()
+	f.Retry = m.attempts > 0
 	m.attempts++
 	m.TxData++
 	if m.attempts > 1 {
@@ -607,28 +655,21 @@ func (m *MAC) sendData() {
 	end := m.ch.Transmit(m.id, f)
 	ackTime := m.ch.AirTime(pkt.AckBytes)
 	timeout := (end - m.eng.Now()) + SIFS + ackTime + SlotTime
-	m.eng.ScheduleAt(end, func() {
-		if m.state == stTxData {
-			m.state = stWaitAck
-		}
-	})
-	m.timer = m.eng.Schedule(timeout, func() { m.ackTimeout() })
+	m.eng.ScheduleFuncAt(end, m.dataEndFn)
+	m.timer = m.eng.Schedule(timeout, m.ackTimeoutFn)
 }
 
 func (m *MAC) sendRTS() {
 	dataAir := m.ch.AirTime(m.cur.head().Bytes + pkt.MACHeaderBytes)
 	nav := 3*SIFS + m.ch.AirTime(pkt.CTSBytes) + dataAir + m.ch.AirTime(pkt.AckBytes)
-	f := &pkt.Frame{Type: pkt.FrameRTS, TxSrc: m.id, TxDst: m.cur.next, NAV: nav}
+	f := m.pool.Frame()
+	f.Type, f.TxSrc, f.TxDst, f.NAV = pkt.FrameRTS, m.id, m.cur.next, nav
 	m.attempts++
 	m.state = stTxData
 	end := m.ch.Transmit(m.id, f)
 	timeout := (end - m.eng.Now()) + SIFS + m.ch.AirTime(pkt.CTSBytes) + SlotTime
-	m.eng.ScheduleAt(end, func() {
-		if m.state == stTxData {
-			m.state = stWaitCTS
-		}
-	})
-	m.timer = m.eng.Schedule(timeout, func() { m.ackTimeout() })
+	m.eng.ScheduleFuncAt(end, m.rtsEndFn)
+	m.timer = m.eng.Schedule(timeout, m.ackTimeoutFn)
 }
 
 // ackTimeout handles a missing ACK (or CTS): exponential backoff and retry,
@@ -641,6 +682,7 @@ func (m *MAC) ackTimeout() {
 		m.TxFailed++
 		p := m.cur.pop()
 		m.notifyDrop(p, DropRetryExceeded)
+		p.Release()
 		m.cur = nil
 		m.attempts = 0
 		m.state = stIdle

@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+
+	"ezflow/internal/mac"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+func TestGridLayoutAndRoutes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := Grid(eng, 4, 3, phy.DefaultConfig(), mac.DefaultConfig())
+	if got := len(m.Nodes()); got != 12 {
+		t.Fatalf("node count = %d, want 12", got)
+	}
+	// Flow 1: far corner (3,2) = N11 across the top row then down column 0.
+	want1 := []pkt.NodeID{11, 10, 9, 8, 4, 0}
+	r1 := m.Route(1)
+	if fmt.Sprint(r1) != fmt.Sprint(want1) {
+		t.Fatalf("flow 1 route = %v, want %v", r1, want1)
+	}
+	// Flow 2: bottom-right corner along the bottom row.
+	want2 := []pkt.NodeID{3, 2, 1, 0}
+	if r2 := m.Route(2); fmt.Sprint(r2) != fmt.Sprint(want2) {
+		t.Fatalf("flow 2 route = %v, want %v", r2, want2)
+	}
+	// Every hop within transmission range (ValidateRoutes ran at build).
+	for _, f := range m.Flows() {
+		route := m.Route(f)
+		for i := 0; i < len(route)-1; i++ {
+			if !m.Ch.InTxRange(route[i], route[i+1]) {
+				t.Fatalf("flow %v hop %v->%v out of range", f, route[i], route[i+1])
+			}
+		}
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := Grid(eng, 5, 1, phy.DefaultConfig(), mac.DefaultConfig())
+	if len(m.Flows()) != 1 {
+		t.Fatalf("1-D grid installed %d flows, want 1 (flow 2 would duplicate it)", len(m.Flows()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1x1 grid did not panic")
+		}
+	}()
+	Grid(sim.NewEngine(1), 1, 1, phy.DefaultConfig(), mac.DefaultConfig())
+}
+
+// fingerprint captures a mesh's geometry and routing for comparison.
+func fingerprint(m *Mesh) string {
+	s := ""
+	for _, n := range m.Nodes() {
+		s += fmt.Sprintf("%v(%.3f,%.3f);", n.ID, n.Pos.X, n.Pos.Y)
+	}
+	for _, f := range m.Flows() {
+		s += fmt.Sprintf("%v=%v;", f, m.Route(f))
+	}
+	return s
+}
+
+func TestRandomDiskDeterminism(t *testing.T) {
+	build := func(seed int64) string {
+		return fingerprint(RandomDisk(sim.NewEngine(1), 16, 0, seed,
+			phy.DefaultConfig(), mac.DefaultConfig()))
+	}
+	if build(7) != build(7) {
+		t.Fatal("same seed produced different random-disk topologies")
+	}
+	if build(7) == build(8) {
+		t.Fatal("different seeds produced identical topologies (suspicious)")
+	}
+}
+
+func TestRandomDiskConnectivity(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for seed := int64(1); seed <= 20; seed++ {
+		m := RandomDisk(sim.NewEngine(1), 12, 0, seed, cfg, mac.DefaultConfig())
+		route := m.Route(1)
+		if len(route) < 2 {
+			t.Fatalf("seed %d: flow 1 has no multi-hop route", seed)
+		}
+		if route[len(route)-1] != 0 {
+			t.Fatalf("seed %d: route does not end at the gateway", seed)
+		}
+		for i := 0; i < len(route)-1; i++ {
+			if !m.Ch.InTxRange(route[i], route[i+1]) {
+				t.Fatalf("seed %d: hop %v->%v exceeds tx range", seed, route[i], route[i+1])
+			}
+		}
+	}
+}
+
+func TestValidateRoutesPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := New(eng, phy.DefaultConfig(), mac.DefaultConfig())
+	m.AddNode(0, phy.Position{})
+	m.AddNode(1, phy.Position{X: 1000}) // far outside the 250 m range
+	m.SetRoute(1, []pkt.NodeID{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ValidateRoutes accepted an out-of-range hop")
+		}
+	}()
+	m.ValidateRoutes()
+}

@@ -118,6 +118,12 @@ func (m *Mesh) AddNode(id pkt.NodeID, pos phy.Position) *Node {
 // Node returns the node with the given id, or nil.
 func (m *Mesh) Node(id pkt.NodeID) *Node { return m.nodes[id] }
 
+// Pool returns the packet/frame pool shared by the mesh's whole stack.
+// Traffic generators draw packets from it and Release their reference
+// after Inject; the pool recycles each packet once every queue on the
+// path has let go.
+func (m *Mesh) Pool() *pkt.Pool { return m.Ch.Pool() }
+
 // Nodes returns all nodes sorted by id.
 func (m *Mesh) Nodes() []*Node {
 	out := make([]*Node, 0, len(m.nodes))

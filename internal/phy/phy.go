@@ -97,12 +97,15 @@ type Radio interface {
 	ReceiveError()
 }
 
-// transmission is an in-flight frame.
+// transmission is an in-flight frame. Transmissions are pooled by the
+// channel; finishFn is built once per pooled object so completing a flight
+// schedules no new closure.
 type transmission struct {
-	src   pkt.NodeID
-	frame *pkt.Frame
-	start sim.Time
-	end   sim.Time
+	src      pkt.NodeID
+	frame    *pkt.Frame
+	start    sim.Time
+	end      sim.Time
+	finishFn func()
 }
 
 // node is the PHY-side state of one station.
@@ -141,6 +144,9 @@ type Channel struct {
 	order  []*node
 	loss   map[linkKey]float64 // per directed link erasure probability
 	flight []*transmission
+	pool   *pkt.Pool       // packet/frame pool shared by the whole stack
+	freeTx []*transmission // recycled transmissions
+	freeRx []*reception    // recycled receptions
 
 	// Stats counts channel-level events for tests and experiments.
 	Stats ChannelStats
@@ -163,11 +169,42 @@ func NewChannel(eng *sim.Engine, cfg Config) *Channel {
 		eng:   eng,
 		nodes: make(map[pkt.NodeID]*node),
 		loss:  make(map[linkKey]float64),
+		pool:  pkt.NewPool(),
 	}
 }
 
 // Config returns the channel configuration.
 func (c *Channel) Config() Config { return c.cfg }
+
+// Pool returns the channel's packet/frame pool. The MAC, traffic, and
+// transport layers draw from it so that steady-state forwarding reuses
+// storage instead of allocating.
+func (c *Channel) Pool() *pkt.Pool { return c.pool }
+
+// getTx recycles (or allocates) a transmission.
+func (c *Channel) getTx() *transmission {
+	if n := len(c.freeTx); n > 0 {
+		tx := c.freeTx[n-1]
+		c.freeTx[n-1] = nil
+		c.freeTx = c.freeTx[:n-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.finishFn = func() { c.finish(tx) }
+	return tx
+}
+
+// getRx recycles (or allocates) a reception.
+func (c *Channel) getRx() *reception {
+	if n := len(c.freeRx); n > 0 {
+		rx := c.freeRx[n-1]
+		c.freeRx[n-1] = nil
+		c.freeRx = c.freeRx[:n-1]
+		*rx = reception{}
+		return rx
+	}
+	return &reception{}
+}
 
 // AddNode registers a station at pos with its MAC-layer radio. Adding the
 // same id twice panics: topologies are static for the lifetime of a run.
@@ -245,7 +282,8 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 	}
 	now := c.eng.Now()
 	dur := c.AirTime(f.Bytes())
-	tx := &transmission{src: src, frame: f, start: now, end: now + dur}
+	tx := c.getTx()
+	tx.src, tx.frame, tx.start, tx.end = src, f, now, now+dur
 	c.flight = append(c.flight, tx)
 	c.Stats.Transmissions++
 	sn.busyTx = true
@@ -281,7 +319,8 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 			// Idle receiver locks onto the first frame it senses, even
 			// one too weak to decode (noise lock). Energy already in
 			// flight from other transmitters counts as interference.
-			rx := &reception{tx: tx, signal: p, decodable: d <= c.cfg.TxRange}
+			rx := c.getRx()
+			rx.tx, rx.signal, rx.decodable = tx, p, d <= c.cfg.TxRange
 			for _, other := range c.flight {
 				if other == tx {
 					continue
@@ -299,7 +338,7 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 		}
 	}
 
-	c.eng.ScheduleAt(tx.end, func() { c.finish(tx) })
+	c.eng.ScheduleFuncAt(tx.end, tx.finishFn)
 	return tx.end
 }
 
@@ -323,8 +362,10 @@ func (c *Channel) finish(tx *transmission) {
 		if n.rx != nil && n.rx.tx == tx {
 			rx := n.rx
 			n.rx = nil
-			if rx.corrupted || !rx.decodable {
-				if rx.corrupted && rx.decodable && n.radio != nil {
+			corrupted, decodable := rx.corrupted, rx.decodable
+			c.freeRx = append(c.freeRx, rx)
+			if corrupted || !decodable {
+				if corrupted && decodable && n.radio != nil {
 					n.radio.ReceiveError()
 				}
 				continue
@@ -338,13 +379,18 @@ func (c *Channel) finish(tx *transmission) {
 		}
 	}
 
-	// Drop tx from the in-flight list.
+	// Drop tx from the in-flight list, then recycle the frame and the
+	// transmission: every receiver has been served synchronously above, so
+	// nothing references either beyond this point.
 	for i, t := range c.flight {
 		if t == tx {
 			c.flight = append(c.flight[:i], c.flight[i+1:]...)
 			break
 		}
 	}
+	c.pool.PutFrame(tx.frame)
+	tx.frame = nil
+	c.freeTx = append(c.freeTx, tx)
 }
 
 func (c *Channel) deliver(n *node, f *pkt.Frame) {

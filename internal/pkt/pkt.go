@@ -72,6 +72,8 @@ const (
 
 // Packet is a network-layer packet travelling along a multi-hop flow.
 // Packets are immutable once created; relays hand around the same pointer.
+// Pooled packets (see Pool) are reference-counted via Retain/Release so
+// the pool knows when every queue along the path has let go.
 type Packet struct {
 	Flow    FlowID
 	Seq     uint64   // per-flow sequence number, assigned by the source
@@ -81,11 +83,15 @@ type Packet struct {
 	Created sim.Time // when the source generated it
 	checks  uint16   // cached 16-bit identifier
 	hasSum  bool     // whether checks is valid
+	refs    int32    // reference count (queues + creator)
+	pool    *Pool    // owning pool, nil for hand-built packets
 }
 
-// NewPacket builds a packet and precomputes its checksum identifier.
+// NewPacket builds a stand-alone (unpooled) packet and precomputes its
+// checksum identifier. The traffic and transport layers use Pool.Packet
+// instead so steady-state forwarding does not allocate.
 func NewPacket(flow FlowID, seq uint64, src, dst NodeID, bytes int, created sim.Time) *Packet {
-	p := &Packet{Flow: flow, Seq: seq, Src: src, Dst: dst, Bytes: bytes, Created: created}
+	p := &Packet{Flow: flow, Seq: seq, Src: src, Dst: dst, Bytes: bytes, Created: created, refs: 1}
 	p.checks = p.computeChecksum()
 	p.hasSum = true
 	return p
@@ -138,6 +144,9 @@ type Frame struct {
 	QueueTag int
 	// Retry marks a retransmission, mirroring the 802.11 retry bit.
 	Retry bool
+	// pooled marks frames obtained from a Pool, so PutFrame recycles only
+	// what it handed out.
+	pooled bool
 }
 
 // Bytes reports the frame's on-air size in bytes.

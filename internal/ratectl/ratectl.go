@@ -24,12 +24,13 @@ import (
 // Pacer releases packets from an unbounded routing-layer queue into a
 // bounded MAC queue at a controlled rate.
 type Pacer struct {
-	eng  *sim.Engine
-	out  *mac.Queue
-	rate float64 // packets per second released toward the MAC
-	buf  []*pkt.Packet
-	cap  int
-	tick *sim.Event
+	eng       *sim.Engine
+	out       *mac.Queue
+	rate      float64 // packets per second released toward the MAC
+	buf       []*pkt.Packet
+	cap       int
+	tick      sim.Timer
+	releaseFn func() // bound once so rescheduling does not allocate
 
 	// Stats
 	Enqueued uint64
@@ -46,7 +47,9 @@ func NewPacer(eng *sim.Engine, out *mac.Queue, rate float64) *Pacer {
 	if rate <= 0 {
 		rate = 1
 	}
-	return &Pacer{eng: eng, out: out, rate: rate, cap: DefaultRoutingQueueCap}
+	p := &Pacer{eng: eng, out: out, rate: rate, cap: DefaultRoutingQueueCap}
+	p.releaseFn = p.release
+	return p
 }
 
 // Rate reports the current release rate in packets/second.
@@ -63,13 +66,14 @@ func (p *Pacer) SetRate(r float64) {
 // Len reports the routing-layer backlog.
 func (p *Pacer) Len() int { return len(p.buf) }
 
-// Enqueue accepts a packet into the routing-layer queue. It reports false
-// on overflow.
+// Enqueue accepts a packet into the routing-layer queue (taking a
+// reference, like a MAC queue). It reports false on overflow.
 func (p *Pacer) Enqueue(pk *pkt.Packet) bool {
 	if len(p.buf) >= p.cap {
 		p.Dropped++
 		return false
 	}
+	pk.Retain()
 	p.buf = append(p.buf, pk)
 	p.Enqueued++
 	if !p.tick.Pending() {
@@ -80,7 +84,7 @@ func (p *Pacer) Enqueue(pk *pkt.Packet) bool {
 
 func (p *Pacer) schedule() {
 	gap := sim.Time(float64(sim.Second) / p.rate)
-	p.tick = p.eng.Schedule(gap, p.release)
+	p.tick = p.eng.Schedule(gap, p.releaseFn)
 }
 
 func (p *Pacer) release() {
@@ -96,6 +100,7 @@ func (p *Pacer) release() {
 		p.buf[len(p.buf)-1] = nil
 		p.buf = p.buf[:len(p.buf)-1]
 		p.out.Enqueue(pk)
+		pk.Release() // hand the pacer's reference over to the MAC queue
 		p.Released++
 	}
 	if len(p.buf) > 0 {

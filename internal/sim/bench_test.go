@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngine exercises the event queue's schedule/fire/cancel churn:
+// every fired event schedules a successor plus a second timer that is
+// immediately cancelled — the pattern the MAC's backoff/ACK timers
+// generate. allocs/op must stay at zero once the event pool is warm.
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	en := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			en.Schedule(Microsecond, tick)
+			t := en.Schedule(2*Microsecond, tick)
+			t.Cancel()
+		}
+	}
+	en.Schedule(0, tick)
+	en.Run(Time(int64(b.N)+10) * Microsecond)
+	if n != b.N {
+		b.Fatalf("fired %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineDeepQueue measures heap operations with many pending
+// events (the regime of dense topologies): push/pop against a queue that
+// stays ~1024 entries deep.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	b.ReportAllocs()
+	en := NewEngine(1)
+	const depth = 1024
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N { // refill to keep the queue ~depth entries deep
+			en.Schedule(Time(en.Uniform(1000))*Microsecond, tick)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		en.Schedule(Time(en.Uniform(1000))*Microsecond, tick)
+	}
+	b.ResetTimer()
+	for en.Pending() > 0 {
+		en.RunStep()
+	}
+}

@@ -1,15 +1,21 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine keeps virtual time as int64 nanoseconds, schedules callbacks on
-// a binary heap ordered by (time, sequence), and exposes a seeded random
-// number generator so that every run is a pure function of its inputs.
-// All higher layers of the repository (PHY, MAC, traffic sources, EZ-Flow
-// controllers) are driven exclusively by this engine: nothing in the
-// simulator reads the wall clock.
+// The engine keeps virtual time as int64 nanoseconds, schedules callbacks
+// on an inlined 4-ary heap ordered by (time, sequence), and exposes a
+// seeded random number generator so that every run is a pure function of
+// its inputs. All higher layers of the repository (PHY, MAC, traffic
+// sources, EZ-Flow controllers) are driven exclusively by this engine:
+// nothing in the simulator reads the wall clock.
+//
+// The engine is built for the hot path. Fired and cancelled events are
+// recycled through a free list, so steady-state scheduling does not
+// allocate; Timer handles carry a generation counter, so a handle kept
+// past its event's lifetime can never cancel the event's next occupant.
+// Callers that never cancel should prefer the ScheduleFunc/ScheduleFuncAt
+// fast paths, which skip handle construction entirely.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -41,78 +47,170 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // FromSeconds converts a float64 number of seconds into a Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// Event is a scheduled callback. The zero value is inert.
-type Event struct {
+// event is the pooled state of one scheduled callback. Events are owned by
+// the engine: they move between the heap and the free list and are never
+// exposed to callers directly (Timer is the handle). gen distinguishes the
+// lifetimes of successive occupants of the same allocation.
+type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 when not queued
-	dead   bool
+	index  int32 // heap index, -1 when not queued
+	gen    uint64
 	engine *Engine
 }
 
-// At reports when the event fires.
-func (e *Event) At() Time { return e.at }
+// Timer is a cancellable handle to a scheduled callback. The zero value is
+// inert: Cancel is a no-op and Pending reports false. A Timer remains valid
+// forever — once its event has fired or been cancelled, the engine may
+// recycle the underlying storage for a new event, and the handle's
+// generation check guarantees the stale Timer cannot touch the newcomer.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
+
+// Pending reports whether the timer's event is still queued to fire.
+func (t Timer) Pending() bool {
+	e := t.ev
+	return e != nil && e.gen == t.gen && e.index >= 0
+}
+
+// At reports when the event fires; the second result is false if the event
+// already fired or was cancelled.
+func (t Timer) At() (Time, bool) {
+	if !t.Pending() {
+		return 0, false
+	}
+	return t.ev.at, true
+}
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.dead || e.index < 0 {
-		if e != nil {
-			e.dead = true
-		}
+// already fired or been cancelled — or a zero Timer — is a no-op, even if
+// the engine has recycled the event's storage for a newer schedule.
+func (t Timer) Cancel() {
+	e := t.ev
+	if e == nil || e.gen != t.gen || e.index < 0 {
 		return
 	}
-	e.dead = true
-	heap.Remove(&e.engine.queue, e.index)
-	e.index = -1
+	en := e.engine
+	en.queue.remove(int(e.index))
+	en.release(e)
 }
 
-// Pending reports whether the event is still queued to fire.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.index >= 0 }
+// eventHeap is an index-tracked 4-ary min-heap of events ordered by
+// (at, seq). The seq tie-break guarantees FIFO ordering among events
+// scheduled for the same instant, which keeps runs deterministic. A 4-ary
+// layout halves the tree depth of a binary heap and keeps siblings on one
+// cache line, and the inlined sift loops avoid the interface dispatch of
+// container/heap.
+type eventHeap []*event
 
-// eventQueue implements heap.Interface ordered by (at, seq). The seq
-// tie-break guarantees FIFO ordering among events scheduled for the same
-// instant, which keeps runs deterministic.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (h *eventHeap) push(e *event) {
+	e.index = int32(len(*h))
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
+	q := *h
+	e := q[0]
+	n := len(q) - 1
+	if n > 0 {
+		q[0] = q[n]
+		q[0].index = 0
+	}
+	q[n] = nil
+	*h = q[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
 	e.index = -1
-	*q = old[:n-1]
 	return e
+}
+
+// remove deletes the event at heap position i.
+func (h *eventHeap) remove(i int) {
+	q := *h
+	n := len(q) - 1
+	e := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = int32(i)
+	}
+	q[n] = nil
+	*h = q[:n]
+	if i < n {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	e.index = -1
+}
+
+func (h eventHeap) siftUp(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = e
+	e.index = int32(i)
 }
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use: the simulated world is single-threaded by design, which is
-// what makes runs reproducible.
+// what makes runs reproducible. (Independent engines may run concurrently;
+// the campaign layer relies on that.)
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	queue  eventHeap
 	seq    uint64
 	rng    *rand.Rand
 	halted bool
 	fired  uint64
+	free   []*event // recycled events; Schedule pops here before allocating
 }
 
 // NewEngine returns an engine whose random generator is seeded with seed.
@@ -132,18 +230,29 @@ func (en *Engine) Fired() uint64 { return en.fired }
 // Pending reports how many events are queued.
 func (en *Engine) Pending() int { return len(en.queue) }
 
-// Schedule queues fn to run after delay. A negative delay fires "now" (but
-// still strictly after the currently executing event returns).
-func (en *Engine) Schedule(delay Time, fn func()) *Event {
-	if delay < 0 {
-		delay = 0
+// get recycles an event from the free list, or allocates one.
+func (en *Engine) get() *event {
+	if n := len(en.free); n > 0 {
+		e := en.free[n-1]
+		en.free[n-1] = nil
+		en.free = en.free[:n-1]
+		return e
 	}
-	return en.ScheduleAt(en.now+delay, fn)
+	return &event{engine: en, index: -1}
 }
 
-// ScheduleAt queues fn to run at absolute time at. Times in the past are
-// clamped to the present.
-func (en *Engine) ScheduleAt(at Time, fn func()) *Event {
+// release returns a fired or cancelled event to the free list. Bumping gen
+// invalidates every outstanding Timer handle to this occupancy.
+func (en *Engine) release(e *event) {
+	e.fn = nil
+	e.index = -1
+	e.gen++
+	en.free = append(en.free, e)
+}
+
+// schedule queues fn at absolute time at (clamped to the present) and
+// returns the backing event.
+func (en *Engine) schedule(at Time, fn func()) *event {
 	if fn == nil {
 		panic("sim: Schedule with nil callback")
 	}
@@ -151,9 +260,43 @@ func (en *Engine) ScheduleAt(at Time, fn func()) *Event {
 		at = en.now
 	}
 	en.seq++
-	e := &Event{at: at, seq: en.seq, fn: fn, engine: en}
-	heap.Push(&en.queue, e)
+	e := en.get()
+	e.at, e.seq, e.fn = at, en.seq, fn
+	en.queue.push(e)
 	return e
+}
+
+// Schedule queues fn to run after delay and returns a cancellable handle.
+// A negative delay fires "now" (but still strictly after the currently
+// executing event returns).
+func (en *Engine) Schedule(delay Time, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return en.ScheduleAt(en.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time at and returns a cancellable
+// handle. Times in the past are clamped to the present.
+func (en *Engine) ScheduleAt(at Time, fn func()) Timer {
+	e := en.schedule(at, fn)
+	return Timer{ev: e, gen: e.gen}
+}
+
+// ScheduleFunc queues fn to run after delay without returning a handle —
+// the fast path for fire-and-forget callbacks that are never cancelled
+// (PHY completions, periodic samplers, source start/stop).
+func (en *Engine) ScheduleFunc(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	en.schedule(en.now+delay, fn)
+}
+
+// ScheduleFuncAt queues fn to run at absolute time at without returning a
+// handle; see ScheduleFunc.
+func (en *Engine) ScheduleFuncAt(at Time, fn func()) {
+	en.schedule(at, fn)
 }
 
 // Stop halts the run loop after the currently executing event completes.
@@ -168,14 +311,12 @@ func (en *Engine) Run(until Time) Time {
 		if e.at > until {
 			break
 		}
-		heap.Pop(&en.queue)
-		if e.dead {
-			continue
-		}
+		en.queue.popMin()
 		en.now = e.at
-		e.dead = true
 		en.fired++
-		e.fn()
+		fn := e.fn
+		en.release(e)
+		fn()
 	}
 	if en.now < until && !en.halted {
 		// Advance the clock to the horizon even if the world went idle.
@@ -187,18 +328,16 @@ func (en *Engine) Run(until Time) Time {
 // RunStep executes exactly one event, if any remain, and reports whether an
 // event fired. Used by tests that want to single-step the world.
 func (en *Engine) RunStep() bool {
-	for len(en.queue) > 0 {
-		e := heap.Pop(&en.queue).(*Event)
-		if e.dead {
-			continue
-		}
-		en.now = e.at
-		e.dead = true
-		en.fired++
-		e.fn()
-		return true
+	if len(en.queue) == 0 {
+		return false
 	}
-	return false
+	e := en.queue.popMin()
+	en.now = e.at
+	en.fired++
+	fn := e.fn
+	en.release(e)
+	fn()
+	return true
 }
 
 // Uniform returns an integer uniform on [0, n). It panics if n <= 0.

@@ -55,7 +55,7 @@ func TestCancel(t *testing.T) {
 func TestCancelFromWithinEvent(t *testing.T) {
 	en := NewEngine(1)
 	fired := false
-	var victim *Event
+	var victim Timer
 	en.Schedule(5*Microsecond, func() { victim.Cancel() })
 	victim = en.Schedule(10*Microsecond, func() { fired = true })
 	en.Run(Second)
@@ -272,7 +272,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		}
 		en := NewEngine(1)
 		fired := make([]bool, len(mask))
-		events := make([]*Event, len(mask))
+		events := make([]Timer, len(mask))
 		for i := range mask {
 			i := i
 			events[i] = en.Schedule(Time(i+1)*Microsecond, func() { fired[i] = true })

@@ -133,6 +133,10 @@ type Series struct {
 // Add appends a sample.
 func (s *Series) Add(t sim.Time, v float64) { s.Points = append(s.Points, Point{t, v}) }
 
+// AddBatch appends a block of samples in one grow-and-copy step — the
+// flush path of trace.Ring.
+func (s *Series) AddBatch(pts []Point) { s.Points = append(s.Points, pts...) }
+
 // Len reports the number of points.
 func (s *Series) Len() int { return len(s.Points) }
 
@@ -267,28 +271,7 @@ func (f *FlowMeter) MeanThroughputKbps(from, to sim.Time) float64 {
 	return w.Mean()
 }
 
-// Sampler periodically samples a float-valued probe into a series: the
-// paper's queue-occupancy traces (Figs. 1 and 4) are built this way.
-type Sampler struct {
-	Series Series
-	stop   bool
-}
-
-// NewSampler starts sampling probe every period on eng, recording into the
-// returned sampler's Series.
-func NewSampler(eng *sim.Engine, name string, period sim.Time, probe func() float64) *Sampler {
-	s := &Sampler{Series: Series{Name: name}}
-	var tick func()
-	tick = func() {
-		if s.stop {
-			return
-		}
-		s.Series.Add(eng.Now(), probe())
-		eng.Schedule(period, tick)
-	}
-	eng.Schedule(period, tick)
-	return s
-}
-
-// Stop halts sampling.
-func (s *Sampler) Stop() { s.stop = true }
+// Periodic probe sampling lives in internal/trace (Recorder), which
+// batches samples through a preallocated ring before they reach a
+// Series; the paper's queue-occupancy traces (Figs. 1 and 4) are built
+// that way.

@@ -180,24 +180,6 @@ func TestFlowMeterDefaultBin(t *testing.T) {
 	}
 }
 
-func TestSampler(t *testing.T) {
-	eng := sim.NewEngine(1)
-	v := 0.0
-	s := NewSampler(eng, "probe", sim.Second, func() float64 { v++; return v })
-	eng.Run(5500 * sim.Millisecond)
-	if s.Series.Len() != 5 {
-		t.Fatalf("samples = %d, want 5", s.Series.Len())
-	}
-	s.Stop()
-	eng.Run(10 * sim.Second)
-	if s.Series.Len() != 5 {
-		t.Fatal("sampler kept sampling after Stop")
-	}
-	if s.Series.Name != "probe" {
-		t.Fatal("name")
-	}
-}
-
 // Property: Welford mean/std agree with the naive two-pass computation.
 func TestPropertyWelfordMatchesNaive(t *testing.T) {
 	f := func(raw []int16) bool {

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"ezflow/internal/sim"
+	"ezflow/internal/stats"
+)
+
+func TestRingBatchFlush(t *testing.T) {
+	r := NewRing(4)
+	var s stats.Series
+	for i := 0; i < 4; i++ {
+		r.Append(sim.Time(i)*sim.Second, float64(i))
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full after cap appends")
+	}
+	r.FlushTo(&s)
+	if r.Len() != 0 || s.Len() != 4 {
+		t.Fatalf("after flush: ring %d, series %d; want 0, 4", r.Len(), s.Len())
+	}
+	r.Append(9*sim.Second, 9)
+	r.FlushTo(&s)
+	if s.Len() != 5 {
+		t.Fatalf("partial flush lost samples: %d", s.Len())
+	}
+	for i, p := range s.Points[:4] {
+		if p.V != float64(i) {
+			t.Fatalf("sample order corrupted at %d: %v", i, s.Points)
+		}
+	}
+	if s.Points[4].V != 9 {
+		t.Fatalf("late sample wrong: %v", s.Points[4])
+	}
+}
+
+func TestRingOverflowPanics(t *testing.T) {
+	r := NewRing(2)
+	r.Append(0, 1)
+	r.Append(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append past capacity did not panic")
+		}
+	}()
+	r.Append(0, 3)
+}
+
+// TestRecorder checks the end-to-end sampling path: samples at every
+// period, batched through the ring, fully flushed by Stop, and no samples
+// after Stop.
+func TestRecorder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	v := 0.0
+	rec := NewRecorder(eng, "probe", sim.Second, func() float64 { v++; return v })
+	eng.Run(10 * sim.Second)
+	rec.Stop()
+	if rec.Series.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", rec.Series.Len())
+	}
+	for i, p := range rec.Series.Points {
+		if p.T != sim.Time(i+1)*sim.Second || p.V != float64(i+1) {
+			t.Fatalf("sample %d = %+v", i, p)
+		}
+	}
+	eng.Run(20 * sim.Second)
+	if rec.Series.Len() != 10 {
+		t.Fatal("recorder kept sampling after Stop")
+	}
+}
+
+// TestRecorderSteadyStateAllocs: appends between flushes are free, and a
+// whole run allocates only O(n/ringsize) block growths.
+func TestRecorderSteadyStateAllocs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := NewRecorder(eng, "probe", sim.Second, func() float64 { return 1 })
+	eng.Run(sim.Time(DefaultRingSize) * sim.Second / 2) // half-fill the ring
+	if avg := testing.AllocsPerRun(50, func() {
+		eng.Run(eng.Now() + sim.Second)
+	}); avg != 0 {
+		t.Fatalf("in-ring sampling allocates %.1f objects per tick, want 0", avg)
+	}
+	rec.Stop()
+}

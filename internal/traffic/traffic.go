@@ -24,7 +24,8 @@ type Source struct {
 
 	seq    uint64
 	active bool
-	timer  *sim.Event
+	timer  sim.Timer
+	emitFn func() // bound once so rescheduling does not allocate
 	// Generated counts every packet created; Injected excludes source
 	// queue overflows.
 	Generated uint64
@@ -46,11 +47,13 @@ func NewCBR(m *mesh.Mesh, flow pkt.FlowID, rateBps float64, bytes int) *Source {
 	if gap <= 0 {
 		gap = sim.Nanosecond
 	}
-	return &Source{
+	s := &Source{
 		m: m, flow: flow,
 		src: route[0], dst: route[len(route)-1],
 		bytes: bytes, period: gap, rateBps: rateBps,
 	}
+	s.emitFn = s.emit
+	return s
 }
 
 // NewPoisson creates a Poisson source with the given mean rate in bits/s.
@@ -68,12 +71,12 @@ func (s *Source) Active() bool { return s.active }
 
 // StartAt schedules the source to begin at time at.
 func (s *Source) StartAt(at sim.Time) {
-	s.m.Eng.ScheduleAt(at, s.Start)
+	s.m.Eng.ScheduleFuncAt(at, s.Start)
 }
 
 // StopAt schedules the source to stop at time at.
 func (s *Source) StopAt(at sim.Time) {
-	s.m.Eng.ScheduleAt(at, s.Stop)
+	s.m.Eng.ScheduleFuncAt(at, s.Stop)
 }
 
 // Start begins generation immediately.
@@ -104,10 +107,11 @@ func (s *Source) emit() {
 		return
 	}
 	s.seq++
-	p := pkt.NewPacket(s.flow, s.seq, s.src, s.dst, s.bytes, s.m.Eng.Now())
+	p := s.m.Pool().Packet(s.flow, s.seq, s.src, s.dst, s.bytes, s.m.Eng.Now())
 	s.Generated++
 	if s.m.Inject(p) {
 		s.Injected++
 	}
-	s.timer = s.m.Eng.Schedule(s.nextGap(), s.emit)
+	p.Release() // the source queue holds its own reference now
+	s.timer = s.m.Eng.Schedule(s.nextGap(), s.emitFn)
 }

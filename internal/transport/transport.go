@@ -53,11 +53,12 @@ type Conn struct {
 	cfg  Config
 
 	// Sender state.
-	cwnd     float64
-	nextSeq  uint64 // next sequence to send for the first time
-	sendBase uint64 // oldest unacknowledged sequence
-	rtoTimer *sim.Event
-	running  bool
+	cwnd      float64
+	nextSeq   uint64 // next sequence to send for the first time
+	sendBase  uint64 // oldest unacknowledged sequence
+	rtoTimer  sim.Timer
+	timeoutFn func() // bound once so arming the RTO does not allocate
+	running   bool
 
 	// Receiver state.
 	recvNext uint64 // next in-order sequence expected
@@ -102,6 +103,7 @@ func New(m *mesh.Mesh, flow pkt.FlowID, cfg Config) *Conn {
 		sendBase: 1,
 		recvNext: 1,
 	}
+	c.timeoutFn = c.onTimeout
 	m.AddSink(c.onSink)
 	return c
 }
@@ -136,10 +138,11 @@ func (c *Conn) pump() {
 		return
 	}
 	for float64(c.InFlight()) < c.cwnd {
-		p := pkt.NewPacket(c.flow, c.nextSeq, c.src, c.dst, c.cfg.Bytes, c.m.Eng.Now())
+		p := c.m.Pool().Packet(c.flow, c.nextSeq, c.src, c.dst, c.cfg.Bytes, c.m.Eng.Now())
 		c.nextSeq++
 		c.Sent++
 		c.m.Inject(p)
+		p.Release()
 	}
 	c.armRTO()
 }
@@ -151,7 +154,7 @@ func (c *Conn) armRTO() {
 	if c.InFlight() == 0 {
 		return
 	}
-	c.rtoTimer = c.m.Eng.Schedule(c.cfg.RTO, c.onTimeout)
+	c.rtoTimer = c.m.Eng.Schedule(c.cfg.RTO, c.timeoutFn)
 }
 
 // onSink handles packets reaching their destination anywhere in the mesh;
@@ -174,10 +177,11 @@ func (c *Conn) onData(p *pkt.Packet) {
 		c.Delivered++
 	}
 	// Cumulative ACK: Seq carries the highest in-order sequence received.
-	ack := pkt.NewPacket(AckFlow(c.flow), c.recvNext-1, c.dst, c.src,
+	ack := c.m.Pool().Packet(AckFlow(c.flow), c.recvNext-1, c.dst, c.src,
 		c.cfg.AckBytes, c.m.Eng.Now())
 	c.AcksSent++
 	c.m.Inject(ack)
+	ack.Release()
 }
 
 // onAck runs at the sender: slide the window (AIMD additive increase).
@@ -204,11 +208,12 @@ func (c *Conn) onTimeout() {
 	outstanding := c.InFlight()
 	c.nextSeq = c.sendBase
 	for i := uint64(0); i < outstanding; i++ {
-		p := pkt.NewPacket(c.flow, c.nextSeq, c.src, c.dst, c.cfg.Bytes, c.m.Eng.Now())
+		p := c.m.Pool().Packet(c.flow, c.nextSeq, c.src, c.dst, c.cfg.Bytes, c.m.Eng.Now())
 		c.nextSeq++
 		c.Sent++
 		c.Retransmits++
 		c.m.Inject(p)
+		p.Release()
 	}
 	c.armRTO()
 }

@@ -1,0 +1,53 @@
+// Hot-path benchmarks guarding the simulator core: BenchmarkChainRun is
+// the end-to-end allocation budget for a full scenario run (engine + PHY +
+// MAC + mesh + traffic + metering), BenchmarkChainRun80211 isolates the
+// controller-free path. internal/sim has the matching micro-benchmark
+// (BenchmarkEngine) for the event queue alone. Run with
+//
+//	go test -bench=ChainRun -benchmem -run=^$ .
+//
+// and compare B/op and allocs/op against the recorded numbers in
+// BENCH_PR2.json before touching the packet or event path.
+package ezflow_test
+
+import (
+	"testing"
+
+	"ezflow"
+)
+
+// chainRun executes one short 4-hop chain scenario in the given mode; the
+// 20-simulated-second horizon is long enough for steady-state forwarding
+// to dominate setup allocations.
+func chainRun(seed int64, mode ezflow.Mode) *ezflow.Result {
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 20 * ezflow.Second
+	cfg.Mode = mode
+	sc := ezflow.NewChain(4, cfg,
+		ezflow.FlowSpec{Flow: 1, RateBps: 2e6, Stop: cfg.Duration})
+	return sc.Run()
+}
+
+// BenchmarkChainRun measures a 4-hop EZ-Flow chain run end to end. Its
+// allocs/op is the headline number the pooled packet/event path is
+// budgeted against.
+func BenchmarkChainRun(b *testing.B) {
+	b.ReportAllocs()
+	var last *ezflow.Result
+	for i := 0; i < b.N; i++ {
+		last = chainRun(int64(i+1), ezflow.ModeEZFlow)
+	}
+	b.ReportMetric(last.Flows[1].MeanThroughputKbps, "kbps")
+}
+
+// BenchmarkChainRun80211 is the same run without any controller, isolating
+// the raw forwarding path.
+func BenchmarkChainRun80211(b *testing.B) {
+	b.ReportAllocs()
+	var last *ezflow.Result
+	for i := 0; i < b.N; i++ {
+		last = chainRun(int64(i+1), ezflow.Mode80211)
+	}
+	b.ReportMetric(last.Flows[1].MeanThroughputKbps, "kbps")
+}

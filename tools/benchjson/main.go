@@ -1,0 +1,75 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so benchmark runs can be archived as CI
+// artifacts (BENCH_PR2.json) and diffed across PRs without parsing the
+// text format downstream.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | go run ./tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form. Metrics holds every
+// "value unit" pair: ns/op, B/op, allocs/op, and custom ReportMetric
+// units such as kbps.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the top-level JSON document.
+type Output struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var out Output
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			// Strip the -8 GOMAXPROCS suffix for stable names.
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command lintdoc enforces the repository's godoc conventions without
+// external dependencies (the CI image is offline): every package must
+// carry a package-level doc comment, and every exported symbol of the
+// public root package (ezflow) must have a doc comment. It exits non-zero
+// with a file:line report when either rule is violated.
+//
+// Usage (from the module root):
+//
+//	go run ./tools/lintdoc
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// strictDirs lists package directories whose exported symbols must all be
+// documented (not just the package clause). "." is the public API.
+var strictDirs = map[string]bool{".": true}
+
+func main() {
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		dirs[dir] = append(dirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	names := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		names = append(names, dir)
+	}
+	sort.Strings(names)
+	for _, dir := range names {
+		problems = append(problems, checkDir(dir, dirs[dir])...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "lintdoc: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns its violations.
+func checkDir(dir string, files []string) []string {
+	fset := token.NewFileSet()
+	var problems []string
+	hasPkgDoc := false
+	sort.Strings(files)
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse error: %v", path, err))
+			continue
+		}
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+		if strictDirs[dir] {
+			problems = append(problems, checkExported(fset, f)...)
+		}
+	}
+	if !hasPkgDoc {
+		problems = append(problems, fmt.Sprintf("%s: package has no package-level doc comment", dir))
+	}
+	return problems
+}
+
+// checkExported reports every exported top-level symbol of f that lacks a
+// doc comment (on the declaration or, in grouped declarations, on the
+// individual spec).
+func checkExported(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	undocumented := func(pos token.Pos, kind, name string) {
+		problems = append(problems,
+			fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && exportedReceiver(d) && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				undocumented(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						undocumented(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							undocumented(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a function is free-standing or a
+// method on an exported type (methods on unexported types are internal
+// even when their own name is exported).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
