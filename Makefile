@@ -3,10 +3,11 @@
 
 GO ?= go
 
-.PHONY: check test lint bench bench-all clean
+.PHONY: check test lint staticcheck bench bench-all clean
 
-# check is the tier-1 gate: format, vet, doc lint, build, race tests.
-check: lint
+# check is the tier-1 gate: format, vet, doc lint, staticcheck, build,
+# race tests.
+check: lint staticcheck
 	test -z "$$($(GO)fmt -l .)" || { $(GO)fmt -l .; exit 1; }
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -16,20 +17,32 @@ test:
 	$(GO) test ./...
 
 # lint enforces the godoc conventions (package docs everywhere, exported
-# symbol docs in the public ezflow package).
+# symbol docs in the public ezflow package and all internal packages).
 lint:
 	$(GO) run ./tools/lintdoc
 
-# bench runs the hot-path benchmarks guarding the simulator core and
-# archives them as BENCH_PR2.json (uploaded as a CI artifact, committed
-# when the recorded trajectory changes).
+# staticcheck runs honnef.co/go/tools when installed (CI installs it;
+# offline dev containers may not have it, so it degrades to a notice).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# bench runs the hot-path benchmarks guarding the simulator core, gates
+# them against the committed baseline (BENCH_PR2.json; >25% ns/op or
+# allocs/op regression fails, zero-alloc pins fail on any alloc), and
+# archives the fresh run as BENCH_PR3.json (uploaded as a CI artifact,
+# committed when the recorded trajectory changes).
 bench:
 	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput' -benchmem \
 	    -run='^$$' -benchtime=20x . | tee /tmp/bench.out
 	$(GO) test -bench='^BenchmarkEngine' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/sim | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson < /tmp/bench.out > BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	$(GO) run ./tools/benchjson -baseline BENCH_PR2.json -tolerance 0.25 \
+	    < /tmp/bench.out > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).

@@ -1,7 +1,9 @@
 // Command ezbench regenerates every table and figure of the paper's
 // evaluation in one run and prints each as a report: Figure 1, Table 1,
 // Figure 4 + Table 2, Scenario 1 (Figures 6-8), Scenario 2 (Figures 10-11 +
-// Table 3), and the §6 Theorem 1 random-walk analysis.
+// Table 3), and the §6 Theorem 1 random-walk analysis — plus the
+// extension experiments (hopsweep, tree, rtscts, bidir, and the
+// fault-injection stability experiment; see docs/PAPER_MAP.md).
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 
+	"ezflow/internal/buildinfo"
 	"ezflow/internal/exp"
 )
 
@@ -35,6 +38,7 @@ var experiments = []struct {
 	{"tree", func(o exp.Options) *exp.Report { return &exp.TreeDownlink(o, 3, 2).Report }},
 	{"rtscts", func(o exp.Options) *exp.Report { return &exp.RTSCTS(o).Report }},
 	{"bidir", func(o exp.Options) *exp.Report { return &exp.Bidirectional(o).Report }},
+	{"stability", func(o exp.Options) *exp.Report { return &exp.Stability(o).Report }},
 }
 
 // aliases lets users name experiments by the figure/table they regenerate.
@@ -48,10 +52,15 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "random seed")
 		scale    = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
-		which    = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1 or figure/table aliases)")
+		which    = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1,hopsweep,tree,rtscts,bidir,stability or figure/table aliases)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("ezbench " + buildinfo.String())
+		return
+	}
 
 	want := map[string]bool{}
 	if *which != "" {

@@ -13,6 +13,18 @@
 //	ezcampaign -sweep topology=grid,random -sweep mode=802.11,ezflow -reps 5
 //	ezcampaign -sweep topology=random -sweep nodes=8,12,16,24 -reps 10
 //	ezcampaign -sweep hops=3..6 -reps 3 -quiet -json -
+//	ezcampaign -sweep mode=802.11,ezflow -sweep flap=0,1 -reps 10
+//	ezcampaign -scenario linkfailure.json -sweep mode=802.11,ezflow -reps 5
+//
+// The fault-injection axes flap and churn (values 0|1) sever the first
+// flow's middle link, respectively halt its middle relay, from 40% to 50%
+// of each run, with BFS route repair; runs with faults additionally
+// report recovery time and post-fault tail queue statistics.
+//
+// -scenario runs every grid point from a declarative JSON scenario file
+// (topology, flows, and dynamics timeline; see internal/scenario). Only
+// mode, rate, cap, flap, and churn may then be swept — the file fixes the
+// topology — and the file's duration_sec wins over -duration when set.
 //
 // Results are deterministic: the same spec and seed produce byte-identical
 // JSON/CSV regardless of -parallel.
@@ -24,7 +36,9 @@ import (
 	"os"
 	"strings"
 
+	"ezflow/internal/buildinfo"
 	"ezflow/internal/campaign"
+	"ezflow/internal/scenario"
 )
 
 // sweepFlags collects repeated -sweep flags.
@@ -49,9 +63,10 @@ func (s *sweepFlags) Set(v string) error {
 
 func main() {
 	var sweeps sweepFlags
-	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; integer ranges like 2..8 expand); axes: topology (chain|testbed|scenario1|scenario2|tree|grid|random) | mode | hops (chain length / grid side) | rate | cap | nodes (random-disk size)")
+	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; integer ranges like 2..8 expand); axes: topology (chain|testbed|scenario1|scenario2|tree|grid|random) | mode | hops (chain length / grid side) | rate | cap | nodes (random-disk size) | flap (0|1 mid-run link failure) | churn (0|1 mid-run relay outage)")
 	var (
 		name     = flag.String("name", "campaign", "campaign name for the report")
+		scenFile = flag.String("scenario", "", "JSON scenario file replacing the built-in topologies (fixes topology; its duration wins)")
 		reps     = flag.Int("reps", 5, "seed replications per grid point")
 		seed     = flag.Int64("seed", 1, "base seed (replication seeds are derived from it)")
 		duration = flag.Float64("duration", 120, "simulated seconds per run")
@@ -61,8 +76,13 @@ func main() {
 		csvOut   = flag.String("csv", "", "write per-replication CSV to this file (\"-\" = stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress the human-readable report")
 		progress = flag.Bool("progress", true, "print live progress to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("ezcampaign " + buildinfo.String())
+		return
+	}
 
 	spec := campaign.Spec{
 		Name:        *name,
@@ -71,6 +91,13 @@ func main() {
 		BaseSeed:    *seed,
 		DurationSec: *duration,
 		RateBps:     *rate,
+	}
+	if *scenFile != "" {
+		s, err := scenario.Load(*scenFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Scenario = s
 	}
 	eng := campaign.Engine{Parallel: *parallel}
 	if *progress {

@@ -18,20 +18,26 @@ import (
 	"math/rand"
 	"sort"
 
+	"ezflow/internal/buildinfo"
 	"ezflow/internal/markov"
 )
 
 func main() {
 	var (
-		k      = flag.Int("k", 4, "number of hops")
-		steps  = flag.Int("steps", 500000, "slots to simulate")
-		fixed  = flag.Bool("fixed", false, "disable EZ-Flow (fixed equal windows)")
-		initCW = flag.Int("cw", 32, "initial contention window")
-		seed   = flag.Int64("seed", 1, "random seed")
-		table  = flag.Bool("ez-table", false, "print the transmission-pattern distribution of the all-backlogged state and exit")
-		foster = flag.Bool("foster", false, "run the per-region Foster drift check (K=4 only)")
+		k       = flag.Int("k", 4, "number of hops")
+		steps   = flag.Int("steps", 500000, "slots to simulate")
+		fixed   = flag.Bool("fixed", false, "disable EZ-Flow (fixed equal windows)")
+		initCW  = flag.Int("cw", 32, "initial contention window")
+		seed    = flag.Int64("seed", 1, "random seed")
+		table   = flag.Bool("ez-table", false, "print the transmission-pattern distribution of the all-backlogged state and exit")
+		foster  = flag.Bool("foster", false, "run the per-region Foster drift check (K=4 only)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("ezmodel " + buildinfo.String())
+		return
+	}
 
 	cfg := markov.DefaultConfig()
 	cfg.K = *k

@@ -9,10 +9,19 @@
 //	ezsim -topology testbed -mode ezflow -cap 1024
 //	ezsim -topology grid -grid-w 4 -grid-h 4 -mode ezflow
 //	ezsim -topology random -nodes 12 -radius 500 -seed 3
+//	ezsim -scenario linkfailure.json
+//	ezsim -scenario linkfailure.json -mode 802.11 -seed 7
 //
 // Topologies: chain (with -hops), testbed, scenario1, scenario2, tree,
 // grid (with -grid-w/-grid-h), random (with -nodes/-radius; placement is
 // seeded by -seed). Modes: 802.11, ezflow, penalty, diffq.
+//
+// -scenario runs a declarative JSON scenario file instead — topology,
+// flows, and a dynamics timeline of timed perturbations (link flaps, node
+// churn, channel degradation, traffic steps); see internal/scenario for
+// the format. The file governs the run, but -mode, -seed, -duration and
+// -cap still override it when set explicitly. Runs with faults print
+// recovery metrics and the applied-event log.
 package main
 
 import (
@@ -22,7 +31,9 @@ import (
 	"sort"
 
 	"ezflow"
+	"ezflow/internal/buildinfo"
 	"ezflow/internal/plot"
+	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
 	"ezflow/internal/trace"
 )
@@ -30,6 +41,7 @@ import (
 func main() {
 	var (
 		topology = flag.String("topology", "chain", "chain|testbed|scenario1|scenario2|tree|grid|random")
+		scenFile = flag.String("scenario", "", "JSON scenario file (topology+flows+dynamics; overrides topology flags)")
 		hops     = flag.Int("hops", 4, "number of hops for the chain topology")
 		gridW    = flag.Int("grid-w", 4, "grid width for -topology grid")
 		gridH    = flag.Int("grid-h", 4, "grid height for -topology grid")
@@ -43,8 +55,20 @@ func main() {
 		penaltyQ = flag.Float64("q", 1.0/128, "penalty factor for -mode penalty")
 		traceDir = flag.String("trace-dir", "", "write CSV traces into this directory")
 		doPlot   = flag.Bool("plot", false, "render ASCII charts of queues, throughput and cw")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("ezsim " + buildinfo.String())
+		return
+	}
+
+	if *scenFile != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runScenarioFile(*scenFile, set, *mode, *seed, *duration, *cap, *traceDir, *doPlot)
+		return
+	}
 
 	cfg := ezflow.DefaultConfig()
 	cfg.Seed = *seed
@@ -120,6 +144,50 @@ func main() {
 	}
 }
 
+// runScenarioFile executes a declarative scenario file, letting -mode,
+// -seed, -duration and -cap override the file when passed explicitly
+// (set holds the names of flags present on the command line).
+func runScenarioFile(path string, set map[string]bool, mode string, seed int64,
+	durationSec float64, cwCap int, traceDir string, doPlot bool) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if set["mode"] {
+		spec.Mode = mode
+	}
+	if set["seed"] {
+		spec.Seed = seed
+	}
+	if set["duration"] {
+		spec.DurationSec = durationSec
+	}
+	if set["cap"] {
+		spec.CWCap = cwCap
+	}
+	if err := spec.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if spec.Name != "" {
+		fmt.Printf("scenario %q\n", spec.Name)
+	}
+	res := sc.Run()
+	printSummary(res)
+	if doPlot {
+		printPlots(res)
+	}
+	if traceDir != "" {
+		if err := writeTraces(res, traceDir); err != nil {
+			fatalf("writing traces: %v", err)
+		}
+		fmt.Printf("traces written to %s\n", traceDir)
+	}
+}
+
 func printSummary(res *ezflow.Result) {
 	fmt.Printf("mode=%v duration=%v seed=%d\n", res.Cfg.Mode,
 		res.Cfg.Duration, res.Cfg.Seed)
@@ -163,6 +231,29 @@ func printSummary(res *ezflow.Result) {
 	}
 	if res.OverheadBytes > 0 {
 		fmt.Printf("message-passing overhead: %d bytes\n", res.OverheadBytes)
+	}
+	if len(res.DynamicsLog) > 0 {
+		fmt.Println("dynamics:")
+		for _, ev := range res.DynamicsLog {
+			fmt.Printf("  [%v] %s\n", ev.At, ev.Desc)
+		}
+	}
+	if st := res.Stability; st != nil {
+		fmt.Printf("stability (fault at %v, tolerance %.0f%%):\n", st.FaultAt, st.Tolerance*100)
+		var flows []ezflow.FlowID
+		for f := range st.RecoverySec {
+			flows = append(flows, f)
+		}
+		sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+		for _, f := range flows {
+			rec := "never recovered"
+			if r := st.RecoverySec[f]; r >= 0 {
+				rec = fmt.Sprintf("recovered in %.1fs", r)
+			}
+			fmt.Printf("  %v: pre-fault %.1f kb/s, %s\n", f, st.PreFaultKbps[f], rec)
+		}
+		fmt.Printf("  max relay excursion %.0f pkts, tail max %.0f pkts\n",
+			st.MaxQueueExcursion, st.TailMaxQueuePkts)
 	}
 }
 

@@ -1,0 +1,65 @@
+// Link-failure walkthrough: the dynamics subsystem breaks a 4-hop chain
+// mid-run and lets each controller fight its way back.
+//
+// The scenario is the shipped linkfailure.json — the same format
+// `ezsim -scenario file.json` accepts — with a dynamics timeline: the
+// middle link N1<->N2 fails at t=200s and returns at t=230s. During the
+// outage the upstream relay's buffer slams into the 50-packet cap no
+// matter who is in charge; the interesting part is afterwards. EZ-Flow
+// drains the fault backlog and settles its relays back to a few packets,
+// while plain 802.11 — already turbulent on a 4-hop chain (paper Fig. 1)
+// — keeps hitting the cap for the rest of the run.
+//
+// Run it:
+//
+//	go run ./examples/linkfailure
+//
+// The same experiment from the CLI, with plots:
+//
+//	go run ./cmd/ezsim -scenario examples/linkfailure/linkfailure.json -plot
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+
+	"ezflow/internal/scenario"
+)
+
+// specJSON is the shipped scenario file itself, embedded so this program
+// and `ezsim -scenario examples/linkfailure/linkfailure.json` can never
+// drift apart.
+//
+//go:embed linkfailure.json
+var specJSON string
+
+func main() {
+	for _, mode := range []string{"802.11", "ezflow"} {
+		spec, err := scenario.Parse([]byte(specJSON))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec.Mode = mode
+		sc, err := spec.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := sc.Run()
+		st := res.Stability
+
+		rec := "never recovered"
+		if r := st.RecoverySec[1]; r >= 0 {
+			rec = fmt.Sprintf("recovered in %.0fs", r)
+		}
+		fmt.Printf("%-8s  pre-fault %6.1f kb/s   %s   excursion %2.0f pkts   tail max %2.0f pkts\n",
+			mode, st.PreFaultKbps[1], rec, st.MaxQueueExcursion, st.TailMaxQueuePkts)
+	}
+	fmt.Println("\nBoth recover their throughput — the flap is transient — but only")
+	fmt.Println("EZ-Flow's relays settle afterwards; 802.11 keeps brushing the cap.")
+	fmt.Println("Sweep it across modes and seeds with:")
+	fmt.Println("  go run ./cmd/ezcampaign -scenario examples/linkfailure/linkfailure.json \\")
+	fmt.Println("      -sweep mode=802.11,ezflow -reps 5")
+}

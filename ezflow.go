@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"ezflow/internal/baseline"
+	"ezflow/internal/dynamics"
 	ez "ezflow/internal/ezflow"
 	"ezflow/internal/mac"
 	"ezflow/internal/mesh"
@@ -62,6 +63,11 @@ type (
 
 // Second is one simulated second.
 const Second = sim.Second
+
+// DefaultDuration is the paper's standard 600-second horizon — the run
+// length every layer (Config, scenario files, campaigns) falls back to
+// when none is configured.
+const DefaultDuration = 600 * Second
 
 // Mode selects the flow-control mechanism under test.
 type Mode int
@@ -112,6 +118,17 @@ type Config struct {
 	// PenaltyRelayCW is the relay contention window of ModePenalty.
 	PenaltyRelayCW int
 
+	// Dynamics, when non-nil, is a timed perturbation script (link flaps,
+	// node churn, channel degradation, traffic steps) injected into the
+	// run by the network-dynamics subsystem; see internal/dynamics. When
+	// at least one fault event fires, the Result carries stability
+	// metrics (recovery time, queue excursion, fairness trajectory).
+	Dynamics *dynamics.Script
+	// RecoveryTolerance is the fraction x within which a flow's post-fault
+	// throughput must return to its pre-fault mean to count as recovered
+	// (default 0.2, i.e. back to 80%).
+	RecoveryTolerance float64
+
 	// PacketBytes is the network packet size (default 1028).
 	PacketBytes int
 	// Bin is the width of throughput bins (default 10 s).
@@ -126,7 +143,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Seed:        1,
-		Duration:    600 * Second,
+		Duration:    DefaultDuration,
 		Mode:        Mode80211,
 		PHY:         phy.DefaultConfig(),
 		MAC:         mac.DefaultConfig(),
@@ -164,6 +181,9 @@ type Scenario struct {
 	Deployment *ez.Deployment
 	// DiffQ is non-nil in ModeDiffQ.
 	DiffQ *baseline.DiffQDeployment
+	// Dyn is the perturbation engine, non-nil once a dynamics script is
+	// attached (Config.Dynamics or AddDynamics).
+	Dyn *dynamics.Engine
 
 	specs []FlowSpec
 	ran   bool
@@ -180,7 +200,7 @@ func NewScenario(cfg Config, build func(*sim.Engine) *mesh.Mesh, flows ...FlowSp
 
 func fillDefaults(cfg *Config) {
 	if cfg.Duration <= 0 {
-		cfg.Duration = 600 * Second
+		cfg.Duration = DefaultDuration
 	}
 	if cfg.PHY.BitRate == 0 {
 		cfg.PHY = phy.DefaultConfig()
@@ -208,6 +228,9 @@ func fillDefaults(cfg *Config) {
 	}
 	if cfg.PenaltyRelayCW <= 0 {
 		cfg.PenaltyRelayCW = 16
+	}
+	if cfg.RecoveryTolerance <= 0 || cfg.RecoveryTolerance >= 1 {
+		cfg.RecoveryTolerance = 0.2
 	}
 }
 
@@ -359,7 +382,46 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 			fmt.Sprintf("queue-%v", n.ID), cfg.QueueSample,
 			func() float64 { return float64(nn.MAC.TotalQueued()) })
 	}
+
+	// Perturbation timeline, scheduled up front so the run stays a pure
+	// function of (scenario, seed).
+	if cfg.Dynamics != nil && len(cfg.Dynamics.Events) > 0 {
+		if err := sc.AddDynamics(cfg.Dynamics); err != nil {
+			panic(fmt.Sprintf("ezflow: %v", err))
+		}
+	}
 	return sc
+}
+
+// AddDynamics attaches a perturbation script to a wired scenario, or
+// appends further events if one is already attached. It must be called
+// before Run; event times are absolute simulation times. In ModeEZFlow
+// the deployment is re-extended after every route repair so queues that
+// repair creates come under control.
+func (sc *Scenario) AddDynamics(script *dynamics.Script) error {
+	if sc.ran {
+		panic("ezflow: AddDynamics after Run")
+	}
+	if sc.Dyn != nil {
+		return sc.Dyn.Append(script)
+	}
+	dyn, err := dynamics.Attach(sc.Mesh, sc.Sources, script)
+	if err != nil {
+		return err
+	}
+	sc.Dyn = dyn
+	// Route repair creates fresh queues (and can promote fresh relays);
+	// each controller re-asserts itself over them. DiffQ needs no hook —
+	// its per-frame remap already walks every queue.
+	switch {
+	case sc.Deployment != nil:
+		dep, m := sc.Deployment, sc.Mesh
+		dyn.OnReroute = func() { dep.Extend(m) }
+	case sc.Cfg.Mode == ModePenalty:
+		m, q, cw := sc.Mesh, sc.Cfg.PenaltyQ, sc.Cfg.PenaltyRelayCW
+		dyn.OnReroute = func() { baseline.ApplyPenalty(m, q, cw) }
+	}
+	return nil
 }
 
 // FlowResult summarises one flow.
@@ -393,6 +455,12 @@ type Result struct {
 	// Overhead reports extra control bytes put on the air (0 for
 	// EZ-Flow and plain 802.11; positive for DiffQ).
 	OverheadBytes uint64
+	// Stability carries the fault-recovery metrics; non-nil only when a
+	// dynamics script fired at least one fault event during the run.
+	Stability *StabilityResult
+	// DynamicsLog lists every applied perturbation in execution order
+	// (empty without a dynamics script).
+	DynamicsLog []dynamics.Applied
 }
 
 // Run executes the scenario until cfg.Duration and summarises. It can only
@@ -456,6 +524,10 @@ func (sc *Scenario) Run() *Result {
 	}
 	if sc.DiffQ != nil {
 		res.OverheadBytes = sc.DiffQ.OverheadBytes
+	}
+	if sc.Dyn != nil {
+		res.DynamicsLog = sc.Dyn.Log
+		res.Stability = computeStability(sc, res)
 	}
 	return res
 }

@@ -1,0 +1,48 @@
+// Package buildinfo provides the version string the cmd binaries print
+// for -version: a repository release number plus, when the binary was
+// built from a version-controlled checkout, the VCS revision and its
+// dirty flag from the Go build info.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Release is the repository's hand-maintained version, bumped when the
+// public surface changes.
+const Release = "0.3.0"
+
+// String returns the full human-readable version, e.g.
+// "0.3.0 (go1.24.0, rev 1a2b3c4d)".
+func String() string {
+	var b strings.Builder
+	b.WriteString(Release)
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b.String()
+	}
+	b.WriteString(" (")
+	b.WriteString(bi.GoVersion)
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(", rev ")
+		b.WriteString(rev)
+		b.WriteString(dirty)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"ezflow"
+	"ezflow/internal/dynamics"
+	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
 )
 
@@ -50,14 +52,34 @@ type Spec struct {
 	// RateBps is the per-flow CBR rate when "rate" is not swept
 	// (default 2 Mb/s, the paper's saturating source).
 	RateBps float64 `json:"rate_bps"`
+	// Scenario, when non-nil, is a declarative scenario file that
+	// replaces the built-in topology/flow grid: every run builds from it
+	// (its dynamics timeline included), and only the mode, rate, cap,
+	// flap, and churn axes may be swept — topology-shaped axes conflict
+	// and are rejected. The file's duration wins over DurationSec unless
+	// the file leaves it unset.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+}
+
+// sweeps reports whether the named axis is swept by this spec.
+func (s Spec) sweeps(name string) bool {
+	for _, ax := range s.Axes {
+		if ax.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Axis is one swept parameter. Known names: "topology"
 // (chain|testbed|scenario1|scenario2|tree|grid|random), "mode"
 // (802.11|ezflow|penalty|diffq), "hops" (chain length; also the side of a
 // grid topology, clamped to >= 2), "rate" (bit/s), "cap" (hardware CWmin
-// cap, 0 = none), and "nodes" (node count of the random topology, whose
-// placement is seeded per replication).
+// cap, 0 = none), "nodes" (node count of the random topology, whose
+// placement is seeded per replication), and the fault-injection axes
+// "flap" and "churn" (0|1): flap=1 severs the first flow's middle link
+// for a tenth of the run starting at 40%, churn=1 halts its middle relay
+// over the same window, both with BFS route repair.
 type Axis struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values"`
@@ -72,9 +94,9 @@ func ParseSweep(s string) (Axis, error) {
 	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	switch name {
-	case "topology", "mode", "hops", "rate", "cap", "nodes":
+	case "topology", "mode", "hops", "rate", "cap", "nodes", "flap", "churn":
 	default:
-		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap|nodes)", name)
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap|nodes|flap|churn)", name)
 	}
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
@@ -100,19 +122,11 @@ func ParseSweep(s string) (Axis, error) {
 	return Axis{Name: name, Values: out}, nil
 }
 
-// ParseMode maps the CLI spellings of the four control modes.
+// ParseMode maps the CLI spellings of the four control modes. It shares
+// scenario.ParseMode's spelling table so campaigns and scenario files
+// can never disagree.
 func ParseMode(s string) (ezflow.Mode, error) {
-	switch strings.ToLower(s) {
-	case "802.11", "80211", "plain":
-		return ezflow.Mode80211, nil
-	case "ezflow", "ez-flow":
-		return ezflow.ModeEZFlow, nil
-	case "penalty":
-		return ezflow.ModePenalty, nil
-	case "diffq":
-		return ezflow.ModeDiffQ, nil
-	}
-	return 0, fmt.Errorf("campaign: unknown mode %q (want 802.11|ezflow|penalty|diffq)", s)
+	return scenario.ParseMode(s)
 }
 
 // Point is one fully resolved grid point of a campaign.
@@ -125,6 +139,12 @@ type Point struct {
 	RateBps  float64     `json:"rate_bps"`
 	CWCap    int         `json:"cw_cap"`
 	Nodes    int         `json:"nodes"`
+	// Flap and Churn are the fault-injection axes.
+	Flap  bool `json:"flap,omitempty"`
+	Churn bool `json:"churn,omitempty"`
+	// Scenario is the scenario file's name when the campaign runs from
+	// one (Spec.Scenario), replacing the topology fields above.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 func (p *Point) set(axis, value string) error {
@@ -166,10 +186,33 @@ func (p *Point) set(axis, value string) error {
 			return fmt.Errorf("campaign: bad node count %q", value)
 		}
 		p.Nodes = n
+	case "flap":
+		b, err := parseBool01(value)
+		if err != nil {
+			return fmt.Errorf("campaign: bad flap value %q (want 0|1)", value)
+		}
+		p.Flap = b
+	case "churn":
+		b, err := parseBool01(value)
+		if err != nil {
+			return fmt.Errorf("campaign: bad churn value %q (want 0|1)", value)
+		}
+		p.Churn = b
 	default:
 		return fmt.Errorf("campaign: unknown axis %q", axis)
 	}
 	return nil
+}
+
+// parseBool01 parses the 0|1 (or false|true) axis values.
+func parseBool01(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "0", "false", "off":
+		return false, nil
+	case "1", "true", "on":
+		return true, nil
+	}
+	return false, fmt.Errorf("not a boolean")
 }
 
 // gridSide maps the hops axis to the side of a grid topology, clamped to
@@ -183,28 +226,94 @@ func (p Point) gridSide() int {
 }
 
 func (p Point) makeLabel() string {
-	b := fmt.Sprintf("topology=%s mode=%v", p.Topology, p.Mode)
-	switch p.Topology {
-	case "chain":
-		b += fmt.Sprintf(" hops=%d", p.Hops)
-	case "grid":
-		b += fmt.Sprintf(" side=%d", p.gridSide())
-	case "random":
-		b += fmt.Sprintf(" nodes=%d", p.Nodes)
+	var b string
+	if p.Scenario != "" {
+		b = fmt.Sprintf("scenario=%s mode=%v", p.Scenario, p.Mode)
+		if p.RateBps > 0 { // only set when the rate axis is swept
+			b += fmt.Sprintf(" rate=%g", p.RateBps)
+		}
+	} else {
+		b = fmt.Sprintf("topology=%s mode=%v", p.Topology, p.Mode)
+		switch p.Topology {
+		case "chain":
+			b += fmt.Sprintf(" hops=%d", p.Hops)
+		case "grid":
+			b += fmt.Sprintf(" side=%d", p.gridSide())
+		case "random":
+			b += fmt.Sprintf(" nodes=%d", p.Nodes)
+		}
+		b += fmt.Sprintf(" rate=%g", p.RateBps)
 	}
-	b += fmt.Sprintf(" rate=%g", p.RateBps)
 	if p.CWCap > 0 {
 		b += fmt.Sprintf(" cap=%d", p.CWCap)
+	}
+	if p.Flap {
+		b += " flap=1"
+	}
+	if p.Churn {
+		b += " churn=1"
 	}
 	return b
 }
 
 // Enumerate expands the spec's axes into the cartesian grid of points,
-// in deterministic axis-major order.
+// in deterministic axis-major order. With a scenario file attached, the
+// base point mirrors the file (its name, mode and per-flow rates) and
+// topology-shaped axes are rejected.
 func (s Spec) Enumerate() ([]Point, error) {
 	base := Point{Topology: "chain", Mode: ezflow.Mode80211, Hops: 4, RateBps: s.RateBps, Nodes: 12}
 	if base.RateBps <= 0 {
 		base.RateBps = 2e6
+	}
+	if s.Scenario != nil {
+		if err := s.Scenario.Validate(); err != nil {
+			return nil, err
+		}
+		// Trial-build once (no run): dynamics events naming nodes absent
+		// from the topology only surface at build time, and surfacing
+		// them here as an error beats a raw panic inside a pool worker.
+		if _, err := s.Scenario.Build(); err != nil {
+			return nil, err
+		}
+		// The file's own Validate checks events against the file's
+		// duration; when the file leaves duration unset, the campaign's
+		// applies instead, and events scheduled past it would silently
+		// never fire — reject that here, where it can still be an error.
+		if s.Scenario.DurationSec <= 0 {
+			eff := s.DurationSec
+			if eff <= 0 {
+				eff = ezflow.DefaultDuration.Seconds()
+			}
+			for i, ev := range s.Scenario.Dynamics {
+				if ev.AtSec > eff {
+					return nil, fmt.Errorf("campaign: scenario dynamics[%d] at_sec %g is beyond the campaign duration %gs (the file sets no duration_sec)", i, ev.AtSec, eff)
+				}
+			}
+		}
+		for _, ax := range s.Axes {
+			switch ax.Name {
+			case "topology", "hops", "nodes":
+				return nil, fmt.Errorf("campaign: axis %q conflicts with the scenario file (its topology is fixed)", ax.Name)
+			case "rate":
+				// The rate axis rewrites the file's declared flows; with
+				// none declared, the topology's built-in defaults would
+				// run instead and every rate point would be a silent lie.
+				if len(s.Scenario.Flows) == 0 {
+					return nil, fmt.Errorf("campaign: the rate axis needs the scenario file to declare flows explicitly")
+				}
+			}
+		}
+		name := s.Scenario.Name
+		if name == "" {
+			name = s.Scenario.Topology.Kind
+		}
+		mode, err := ParseMode(s.Scenario.Mode)
+		if err != nil {
+			return nil, err
+		}
+		// RateBps 0 marks "rates come from the file" until the rate axis
+		// overrides it.
+		base = Point{Scenario: name, Mode: mode, CWCap: s.Scenario.CWCap}
 	}
 	points := []Point{base}
 	for _, ax := range s.Axes {
@@ -263,6 +372,14 @@ type RunResult struct {
 	MeanDelaySec float64 `json:"mean_delay_sec"`
 	// MaxQueuePkts is the largest sampled MAC backlog at any node.
 	MaxQueuePkts float64 `json:"max_queue_pkts"`
+	// RecoverySec is the slowest flow's fault-recovery time in seconds:
+	// -1 when the run had no fault, -2 when some flow never recovered
+	// (see ezflow.StabilityResult).
+	RecoverySec float64 `json:"recovery_sec"`
+	// TailQueuePkts is the largest relay backlog over the run's final
+	// third after a fault (0 when the run had no fault) — the divergence
+	// indicator of the stability experiments.
+	TailQueuePkts float64 `json:"tail_queue_pkts"`
 	// FlowKbps is each flow's mean goodput.
 	FlowKbps map[ezflow.FlowID]float64 `json:"flow_kbps"`
 
@@ -284,6 +401,13 @@ type Aggregate struct {
 	// Welford merge), capturing within-run variability on top of the
 	// across-replication statistics above.
 	BinKbps stats.Summary `json:"bin_kbps"`
+	// RecoverySec summarises fault-recovery times across the
+	// replications that recovered (N < Reps means some never did; N = 0
+	// on fault-free points).
+	RecoverySec stats.Summary `json:"recovery_sec"`
+	// TailQueuePkts summarises the post-fault tail relay backlog across
+	// replications of faulted runs.
+	TailQueuePkts stats.Summary `json:"tail_queue_pkts"`
 }
 
 // Result is a completed campaign: per-point aggregates plus every
@@ -320,7 +444,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	}
 	durSec := spec.DurationSec
 	if durSec <= 0 {
-		durSec = 600
+		durSec = ezflow.DefaultDuration.Seconds()
 	}
 	parallel := e.Parallel
 	if parallel <= 0 {
@@ -340,7 +464,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 
 	for i, p := range points {
 		agg := Aggregate{Point: p, Reps: reps}
-		var aggW, fairW, delayW, queueW, binW stats.Welford
+		var aggW, fairW, delayW, queueW, binW, recW, tailW stats.Welford
 		for rep := 0; rep < reps; rep++ {
 			r := runs[i*reps+rep]
 			aggW.Add(r.AggKbps)
@@ -348,12 +472,20 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 			delayW.Add(r.MeanDelaySec)
 			queueW.Add(r.MaxQueuePkts)
 			binW.Merge(r.binKbps)
+			if r.RecoverySec >= 0 {
+				recW.Add(r.RecoverySec)
+			}
+			if r.RecoverySec != -1 { // the run had a fault
+				tailW.Add(r.TailQueuePkts)
+			}
 		}
 		agg.AggKbps = aggW.Summarize()
 		agg.Fairness = fairW.Summarize()
 		agg.MeanDelaySec = delayW.Summarize()
 		agg.MaxQueuePkts = queueW.Summarize()
 		agg.BinKbps = binW.Summarize()
+		agg.RecoverySec = recW.Summarize()
+		agg.TailQueuePkts = tailW.Summarize()
 		res.Points = append(res.Points, agg)
 	}
 	return res, nil
@@ -367,12 +499,23 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 	cfg.Mode = p.Mode
 	cfg.MAC.HardwareCWCap = p.CWCap
 
-	res := buildScenario(p, cfg).Run()
+	sc := buildScenario(spec, p, cfg)
+	applyAxisFaults(sc, p)
+	res := sc.Run()
 	rr := RunResult{
 		Point: p.Index, Label: p.Label, Rep: rep, Seed: seed,
-		AggKbps:  res.AggKbps,
-		Fairness: res.Fairness,
-		FlowKbps: make(map[ezflow.FlowID]float64, len(res.Flows)),
+		AggKbps:     res.AggKbps,
+		Fairness:    res.Fairness,
+		RecoverySec: -1,
+		FlowKbps:    make(map[ezflow.FlowID]float64, len(res.Flows)),
+	}
+	if st := res.Stability; st != nil {
+		if st.Recovered {
+			rr.RecoverySec = st.MaxRecoverySec
+		} else {
+			rr.RecoverySec = -2
+		}
+		rr.TailQueuePkts = st.TailMaxQueuePkts
 	}
 	// Iterate flows in sorted order: float accumulation order must not
 	// depend on map iteration, or multi-flow results lose bit-for-bit
@@ -402,7 +545,30 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 	return rr
 }
 
-func buildScenario(p Point, cfg ezflow.Config) *ezflow.Scenario {
+func buildScenario(spec Spec, p Point, cfg ezflow.Config) *ezflow.Scenario {
+	if spec.Scenario != nil {
+		s := spec.Scenario
+		// The scenario file is the experiment definition: its duration
+		// wins over the campaign-level default when it sets one.
+		if s.DurationSec > 0 {
+			cfg.Duration = ezflow.Time(s.DurationSec * float64(ezflow.Second))
+		}
+		cfg.WarmupSkip = ezflow.Time(s.WarmupSec * float64(ezflow.Second))
+		cfg.RecoveryTolerance = s.RecoveryTolerance
+		// cfg.MAC.HardwareCWCap already carries the file's cap: Enumerate
+		// seeded the base point from s.CWCap, and the cap axis overrides it.
+		flows := s.FlowSpecs()
+		if spec.sweeps("rate") {
+			for i := range flows {
+				flows[i].RateBps = p.RateBps
+			}
+		}
+		sc, err := s.BuildWith(cfg, flows)
+		if err != nil {
+			panic(err)
+		}
+		return sc
+	}
 	rate := p.RateBps
 	switch p.Topology {
 	case "testbed":
@@ -433,5 +599,38 @@ func buildScenario(p Point, cfg ezflow.Config) *ezflow.Scenario {
 			ezflow.FlowSpec{Flow: 1, RateBps: rate})
 	default:
 		return ezflow.NewChain(p.Hops, cfg, ezflow.FlowSpec{Flow: 1, RateBps: rate})
+	}
+}
+
+// applyAxisFaults layers the flap/churn axes' perturbations onto a built
+// scenario: the first flow's middle link is severed (flap) and/or its
+// middle relay halted (churn) from 40% to 50% of the run, with BFS route
+// repair at both edges. Points whose first flow has no relay (1-hop
+// routes) skip churn rather than fail.
+func applyAxisFaults(sc *ezflow.Scenario, p Point) {
+	if !p.Flap && !p.Churn {
+		return
+	}
+	flows := sc.Mesh.Flows()
+	if len(flows) == 0 {
+		return
+	}
+	f := flows[0]
+	dur := sc.Cfg.Duration
+	downAt, upAt := dur/5*2, dur/2
+	script := &dynamics.Script{}
+	if p.Flap {
+		a, b := dynamics.MiddleLink(sc.Mesh, f)
+		script.Events = append(script.Events, dynamics.Flap(a, b, downAt, upAt, true)...)
+	}
+	if p.Churn && len(sc.Mesh.Route(f)) >= 3 {
+		n := dynamics.MiddleRelay(sc.Mesh, f)
+		script.Events = append(script.Events, dynamics.Churn(n, downAt, upAt, false, true)...)
+	}
+	if len(script.Events) == 0 {
+		return
+	}
+	if err := sc.AddDynamics(script); err != nil {
+		panic(err)
 	}
 }

@@ -50,6 +50,12 @@ func (s ReportSink) Emit(r *Result) error {
 			a.MeanDelaySec.Mean, a.MeanDelaySec.CI95,
 			a.MaxQueuePkts.Mean, a.MaxQueuePkts.CI95,
 			a.BinKbps.Mean, a.BinKbps.CI95)
+		if a.TailQueuePkts.N > 0 {
+			fmt.Fprintf(s.W, "  recovery %5.1f ± %4.1fs (%d/%d recovered)   tail queue %5.1f ± %4.1f pkts\n",
+				a.RecoverySec.Mean, a.RecoverySec.CI95,
+				a.RecoverySec.N, a.TailQueuePkts.N,
+				a.TailQueuePkts.Mean, a.TailQueuePkts.CI95)
+		}
 	}
 	return nil
 }
@@ -79,7 +85,8 @@ func (s CSVSink) Emit(r *Result) error {
 	w := csv.NewWriter(s.W)
 	if err := w.Write([]string{
 		"point", "label", "rep", "seed",
-		"agg_kbps", "fairness", "mean_delay_sec", "max_queue_pkts", "flow_kbps",
+		"agg_kbps", "fairness", "mean_delay_sec", "max_queue_pkts",
+		"recovery_sec", "tail_queue_pkts", "flow_kbps",
 	}); err != nil {
 		return err
 	}
@@ -101,6 +108,7 @@ func (s CSVSink) Emit(r *Result) error {
 			strconv.Itoa(run.Point), run.Label, strconv.Itoa(run.Rep),
 			strconv.FormatInt(run.Seed, 10),
 			g(run.AggKbps), g(run.Fairness), g(run.MeanDelaySec), g(run.MaxQueuePkts),
+			g(run.RecoverySec), g(run.TailQueuePkts),
 			flowCol,
 		}); err != nil {
 			return err

@@ -194,11 +194,15 @@ func (t *Table1Result) Bottleneck() int {
 type TestbedScenario int
 
 const (
+	// F1Alone runs only the 7-hop flow F1.
 	F1Alone TestbedScenario = iota
+	// F2Alone runs only the 4-hop flow F2.
 	F2Alone
-	ParkingLot // both flows
+	// ParkingLot runs both flows sharing F1's tail (§4.3's third case).
+	ParkingLot
 )
 
+// String returns the paper's name for the workload.
 func (s TestbedScenario) String() string {
 	switch s {
 	case F1Alone:

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"testing"
+
+	root "ezflow"
+)
+
+// TestStabilityExperiment is the paper-facing acceptance check of the
+// dynamics subsystem: after a mid-run failure of the chain's middle link,
+// EZ-Flow recovers — finite recovery time, relay buffers back off the cap
+// by the final third — while plain 802.11's relays keep hitting the
+// 50-packet cap.
+func TestStabilityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	r := Stability(Options{Seed: 1, Scale: 0.25, Parallel: 4})
+	ez := r.Get(root.ModeEZFlow)
+	plain := r.Get(root.Mode80211)
+	if ez == nil || plain == nil {
+		t.Fatalf("missing modes in %+v", r.Runs)
+	}
+
+	if !ez.Recovered || ez.RecoverySec < 0 {
+		t.Errorf("EZ-Flow did not recover: %+v", ez)
+	}
+	if ez.RecoverySec > 120 {
+		t.Errorf("EZ-Flow recovery took %.0fs — not a finite, prompt recovery", ez.RecoverySec)
+	}
+	// The outage itself fills the upstream relay regardless of mode; the
+	// controllers differ in what happens afterwards.
+	if ez.TailMaxQueuePkts >= 25 {
+		t.Errorf("EZ-Flow tail queue %0.f pkts — did not restabilise", ez.TailMaxQueuePkts)
+	}
+	if plain.TailMaxQueuePkts < 40 {
+		t.Errorf("802.11 tail queue %.0f pkts — expected divergence at the cap", plain.TailMaxQueuePkts)
+	}
+	if ez.PreFaultKbps <= 0 || plain.PreFaultKbps <= 0 {
+		t.Error("missing pre-fault throughput")
+	}
+
+	// The report must carry one line per mode plus the fault header.
+	if len(r.Report.Lines) < 4 {
+		t.Errorf("report too short:\n%s", r.Report.String())
+	}
+}

@@ -90,6 +90,8 @@ func Attach(n *mesh.Node, q *mac.Queue, opts Options) *Controller {
 type Deployment struct {
 	Controllers []*Controller
 	byNode      map[pkt.NodeID][]*Controller
+	opts        Options
+	attached    map[*mac.Queue]bool
 }
 
 // Deploy installs EZ-Flow on every node that transmits toward a successor
@@ -100,26 +102,41 @@ type Deployment struct {
 // anything — exactly the paper's situation where the last hop needs no
 // control).
 func Deploy(m *mesh.Mesh, opts Options) *Deployment {
-	dep := &Deployment{byNode: make(map[pkt.NodeID][]*Controller)}
+	dep := &Deployment{
+		byNode:   make(map[pkt.NodeID][]*Controller),
+		opts:     opts,
+		attached: make(map[*mac.Queue]bool),
+	}
+	dep.Extend(m)
+	return dep
+}
+
+// Extend attaches controllers to queues that appeared after the previous
+// Deploy/Extend pass — mid-run route repair (dynamics BFS rerouting)
+// creates fresh per-successor queues that would otherwise run
+// uncontrolled. Queues that already carry a controller are untouched, so
+// their BOE state and contention-window trajectory survive the repair.
+// The Controllers slice stays sorted by (node, successor).
+func (d *Deployment) Extend(m *mesh.Mesh) {
 	relays := relaySet(m)
 	for _, n := range m.Nodes() {
 		for _, q := range n.Queues() {
-			if !relays[q.NextHop()] {
+			if d.attached[q] || !relays[q.NextHop()] {
 				continue
 			}
-			ctl := Attach(n, q, opts)
-			dep.Controllers = append(dep.Controllers, ctl)
-			dep.byNode[n.ID] = append(dep.byNode[n.ID], ctl)
+			ctl := Attach(n, q, d.opts)
+			d.attached[q] = true
+			d.Controllers = append(d.Controllers, ctl)
+			d.byNode[n.ID] = append(d.byNode[n.ID], ctl)
 		}
 	}
-	sort.Slice(dep.Controllers, func(i, j int) bool {
-		a, b := dep.Controllers[i], dep.Controllers[j]
+	sort.Slice(d.Controllers, func(i, j int) bool {
+		a, b := d.Controllers[i], d.Controllers[j]
 		if a.Node != b.Node {
 			return a.Node < b.Node
 		}
 		return a.Successor < b.Successor
 	})
-	return dep
 }
 
 // relaySet reports the nodes that forward traffic on some flow (appear in

@@ -88,16 +88,24 @@ type DropFunc func(p *pkt.Packet, reason DropReason)
 type DropReason int
 
 const (
+	// DropQueueOverflow marks a packet rejected by a full transmit queue.
 	DropQueueOverflow DropReason = iota
+	// DropRetryExceeded marks a frame abandoned after the retry limit.
 	DropRetryExceeded
+	// DropHalted marks a packet discarded because its node's radio was
+	// powered off with queue flushing (node-churn fault injection).
+	DropHalted
 )
 
+// String names the drop reason for logs and reports.
 func (r DropReason) String() string {
 	switch r {
 	case DropQueueOverflow:
 		return "queue-overflow"
 	case DropRetryExceeded:
 		return "retry-exceeded"
+	case DropHalted:
+		return "halted"
 	default:
 		return "unknown"
 	}
@@ -183,6 +191,23 @@ func (q *Queue) Enqueue(p *pkt.Packet) bool {
 	return true
 }
 
+// Flush discards every buffered packet, releasing the queue's references
+// and notifying drop hooks with DropHalted. It reports how many packets
+// were discarded. The dynamics layer uses it for node churn with drop
+// semantics; a Flush never runs while one of the queue's packets is the
+// MAC's current attempt unless the MAC was halted first.
+func (q *Queue) Flush() int {
+	n := len(q.buf)
+	for i, p := range q.buf {
+		q.Dropped++
+		q.mac.notifyDrop(p, DropHalted)
+		p.Release()
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	return n
+}
+
 func (q *Queue) head() *pkt.Packet {
 	if len(q.buf) == 0 {
 		return nil
@@ -228,6 +253,8 @@ type MAC struct {
 	drops   []DropFunc
 
 	state      txState
+	down       bool     // radio halted (node churn); see SetDown
+	txEnd      sim.Time // when this node's latest own transmission leaves the air
 	busyMedium bool
 	useEIFS    bool     // defer EIFS (not DIFS) after an erroneous reception
 	slots      int      // backoff slots remaining
@@ -252,6 +279,7 @@ type MAC struct {
 	sendDataFn   func()
 	sendCtlFn    func()
 	ctlDoneFn    func()
+	kickFn       func()
 
 	// Stats
 	TxData    uint64
@@ -296,6 +324,7 @@ func New(eng *sim.Engine, ch *phy.Channel, id pkt.NodeID, pos phy.Position, cfg 
 	m.sendDataFn = m.sendData
 	m.sendCtlFn = m.sendCtl
 	m.ctlDoneFn = m.ctlDone
+	m.kickFn = m.kick
 	ch.AddNode(id, pos, m)
 	return m
 }
@@ -346,6 +375,54 @@ func (m *MAC) QueueTo(next pkt.NodeID) *Queue {
 	return nil
 }
 
+// SetDown powers the station's radio off (true) or back on (false) — the
+// node-churn primitive of the dynamics layer. A halted MAC abandons its
+// current access attempt, sends no frames (not even ACKs), and ignores
+// everything it would otherwise decode, so neighbours see it exactly as a
+// dead station: their retries time out and their frames drop. Queued
+// packets are kept by default and drain when the radio returns; callers
+// that want a cold restart flush the queues explicitly (FlushQueues).
+// A frame already on the air when the radio goes down completes its
+// flight — receivers cannot tell, and the engine's event for it is
+// already committed; a restart within that flight defers its first
+// channel access until the flight ends, since the radio is half-duplex.
+func (m *MAC) SetDown(down bool) {
+	if m.down == down {
+		return
+	}
+	m.down = down
+	if down {
+		m.timer.Cancel()
+		if m.pendingCtl != nil {
+			m.pool.PutFrame(m.pendingCtl)
+			m.pendingCtl = nil
+		}
+		m.cur = nil
+		m.attempts = 0
+		m.retryCW = 0
+		m.state = stIdle
+		return
+	}
+	if m.eng.Now() < m.txEnd {
+		m.eng.ScheduleFuncAt(m.txEnd, m.kickFn)
+		return
+	}
+	m.kick()
+}
+
+// Down reports whether the radio is currently halted.
+func (m *MAC) Down() bool { return m.down }
+
+// FlushQueues discards every buffered packet in every queue, counting
+// each as a DropHalted. It returns the number of packets discarded.
+func (m *MAC) FlushQueues() int {
+	n := 0
+	for _, q := range m.queues {
+		n += q.Flush()
+	}
+	return n
+}
+
 // TotalQueued reports the number of packets buffered across all queues.
 func (m *MAC) TotalQueued() int {
 	n := 0
@@ -369,6 +446,9 @@ func (m *MAC) CarrierBusy(busy bool) {
 
 // Receive implements phy.Radio: frames MAC-addressed to this node.
 func (m *MAC) Receive(f *pkt.Frame) {
+	if m.down {
+		return
+	}
 	switch f.Type {
 	case pkt.FrameData:
 		m.rxData(f)
@@ -383,10 +463,18 @@ func (m *MAC) Receive(f *pkt.Frame) {
 
 // ReceiveError implements phy.Radio: a decodable frame was destroyed by a
 // collision, so the next channel access defers EIFS instead of DIFS.
-func (m *MAC) ReceiveError() { m.useEIFS = true }
+func (m *MAC) ReceiveError() {
+	if m.down {
+		return
+	}
+	m.useEIFS = true
+}
 
 // Overhear implements phy.Radio: every decoded frame, for taps and NAV.
 func (m *MAC) Overhear(f *pkt.Frame, ci pkt.CaptureInfo) {
+	if m.down {
+		return
+	}
 	// A correctly decoded frame resynchronises the station: EIFS no
 	// longer applies (IEEE 802.11 §9.2.3.4).
 	m.useEIFS = false
@@ -499,6 +587,7 @@ func (m *MAC) sendCtl() {
 	m.ctlSaved = m.state
 	m.state = stTxCtl
 	end := m.ch.Transmit(m.id, ctl)
+	m.txEnd = end
 	m.eng.ScheduleFuncAt(end, m.ctlDoneFn)
 }
 
@@ -525,7 +614,7 @@ func (m *MAC) ctlDone() {
 // kick starts an access attempt if the transmitter is idle and traffic is
 // waiting.
 func (m *MAC) kick() {
-	if m.state != stIdle {
+	if m.state != stIdle || m.down {
 		return
 	}
 	q := m.selectQueue()
@@ -653,6 +742,7 @@ func (m *MAC) sendData() {
 	}
 	m.state = stTxData
 	end := m.ch.Transmit(m.id, f)
+	m.txEnd = end
 	ackTime := m.ch.AirTime(pkt.AckBytes)
 	timeout := (end - m.eng.Now()) + SIFS + ackTime + SlotTime
 	m.eng.ScheduleFuncAt(end, m.dataEndFn)
@@ -667,6 +757,7 @@ func (m *MAC) sendRTS() {
 	m.attempts++
 	m.state = stTxData
 	end := m.ch.Transmit(m.id, f)
+	m.txEnd = end
 	timeout := (end - m.eng.Now()) + SIFS + m.ch.AirTime(pkt.CTSBytes) + SlotTime
 	m.eng.ScheduleFuncAt(end, m.rtsEndFn)
 	m.timer = m.eng.Schedule(timeout, m.ackTimeoutFn)
@@ -699,6 +790,7 @@ func (m *MAC) ackTimeout() {
 	m.beginContention()
 }
 
+// String summarises the MAC's id, transmitter state and backlog.
 func (m *MAC) String() string {
 	return fmt.Sprintf("mac(%v state=%d queued=%d)", m.id, m.state, m.TotalQueued())
 }

@@ -206,6 +206,79 @@ func (m *Mesh) Inject(p *pkt.Packet) bool {
 	return n.SourceQueue(next).Enqueue(p)
 }
 
+// RerouteFlow recomputes the flow's path from its source to its
+// destination with a breadth-first search over the links admitted by the
+// usable predicate (typically transmission range minus failed links and
+// halted nodes), visiting neighbours in ascending id order so repairs are
+// deterministic, and installs the shortest-hop result. It reports whether
+// a path was found; when none exists the previous route stays in place —
+// traffic stalls at the break until connectivity returns, exactly like a
+// static routing agent that has not re-converged. Endpoints are always
+// considered, even when usable excludes them as relays of other flows.
+func (m *Mesh) RerouteFlow(flow pkt.FlowID, usable func(a, b pkt.NodeID) bool) bool {
+	route := m.routes[flow]
+	if len(route) < 2 {
+		return false
+	}
+	src, dst := route[0], route[len(route)-1]
+	ids := make([]pkt.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	parent := map[pkt.NodeID]pkt.NodeID{src: src}
+	queue := []pkt.NodeID{src}
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range ids {
+			if _, seen := parent[v]; seen || !usable(u, v) {
+				continue
+			}
+			parent[v] = u
+			if v == dst {
+				found = true
+				break
+			}
+			queue = append(queue, v)
+		}
+	}
+	if !found {
+		return false
+	}
+	var rev []pkt.NodeID
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	path := make([]pkt.NodeID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	if samePath(path, route) {
+		return true
+	}
+	m.SetRoute(flow, path)
+	return true
+}
+
+// samePath reports whether two routes are identical.
+func samePath(a, b []pkt.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // arrive handles a packet delivered by the MAC to node n: sink it at the
 // final destination or forward it along the flow's path.
 func (m *Mesh) arrive(n *Node, p *pkt.Packet) {

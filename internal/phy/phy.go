@@ -143,6 +143,7 @@ type Channel struct {
 	// iteration order would make runs diverge).
 	order  []*node
 	loss   map[linkKey]float64 // per directed link erasure probability
+	down   map[linkKey]bool    // severed directed links (dynamics overrides)
 	flight []*transmission
 	pool   *pkt.Pool       // packet/frame pool shared by the whole stack
 	freeTx []*transmission // recycled transmissions
@@ -169,6 +170,7 @@ func NewChannel(eng *sim.Engine, cfg Config) *Channel {
 		eng:   eng,
 		nodes: make(map[pkt.NodeID]*node),
 		loss:  make(map[linkKey]float64),
+		down:  make(map[linkKey]bool),
 		pool:  pkt.NewPool(),
 	}
 }
@@ -242,6 +244,24 @@ func (c *Channel) SetLinkLoss(a, b pkt.NodeID, p float64) {
 // LinkLoss reports the configured erasure probability for a->b.
 func (c *Channel) LinkLoss(a, b pkt.NodeID) float64 { return c.loss[linkKey{a, b}] }
 
+// SetLinkDown severs (down=true) or restores (down=false) the directed
+// link a->b. While severed, no frame from a is ever delivered to b,
+// regardless of distance or loss settings; carrier sensing is unaffected,
+// because the energy still occupies the medium. A downed link therefore
+// models a deep fade or obstruction at the receiver; powering a whole
+// station off is mac.SetDown's job. The check consumes no randomness, so
+// toggling a link perturbs no other node's event stream.
+func (c *Channel) SetLinkDown(a, b pkt.NodeID, down bool) {
+	if down {
+		c.down[linkKey{a, b}] = true
+		return
+	}
+	delete(c.down, linkKey{a, b})
+}
+
+// LinkDown reports whether the directed link a->b is currently severed.
+func (c *Channel) LinkDown(a, b pkt.NodeID) bool { return c.down[linkKey{a, b}] }
+
 // Position reports a node's position.
 func (c *Channel) Position(id pkt.NodeID) Position { return c.nodes[id].pos }
 
@@ -287,6 +307,13 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 	c.flight = append(c.flight, tx)
 	c.Stats.Transmissions++
 	sn.busyTx = true
+	// The channel holds its own reference to a data frame's payload for
+	// the duration of the flight: the transmitter may drop the packet
+	// mid-air (retry limit, a halted node flushing its queues) and the
+	// frame must not dangle into recycled pool storage.
+	if f.Payload != nil {
+		f.Payload.Retain()
+	}
 
 	// Raise carrier sense at every node in CS range; lock idle receivers
 	// onto the new frame; apply capture at already-locked receivers.
@@ -370,6 +397,12 @@ func (c *Channel) finish(tx *transmission) {
 				}
 				continue
 			}
+			// A severed link erases deterministically (before the loss
+			// draw, so it leaves the RNG stream untouched).
+			if c.down[linkKey{tx.src, n.id}] {
+				c.Stats.Erasures++
+				continue
+			}
 			// Apply per-link erasures (testbed link quality model).
 			if p := c.loss[linkKey{tx.src, n.id}]; p > 0 && c.eng.Chance(p) {
 				c.Stats.Erasures++
@@ -381,12 +414,16 @@ func (c *Channel) finish(tx *transmission) {
 
 	// Drop tx from the in-flight list, then recycle the frame and the
 	// transmission: every receiver has been served synchronously above, so
-	// nothing references either beyond this point.
+	// nothing references either beyond this point. The flight's payload
+	// reference (taken in Transmit) is dropped with it.
 	for i, t := range c.flight {
 		if t == tx {
 			c.flight = append(c.flight[:i], c.flight[i+1:]...)
 			break
 		}
+	}
+	if p := tx.frame.Payload; p != nil {
+		p.Release()
 	}
 	c.pool.PutFrame(tx.frame)
 	tx.frame = nil

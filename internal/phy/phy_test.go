@@ -106,7 +106,7 @@ func TestCarrierSense(t *testing.T) {
 		t.Fatal("medium still busy after the transmission ended")
 	}
 	// Busy/idle indications arrived in pairs.
-	if len(radios[1].busy) != 2 || radios[1].busy[0] != true || radios[1].busy[1] != false {
+	if len(radios[1].busy) != 2 || !radios[1].busy[0] || radios[1].busy[1] {
 		t.Fatalf("CS indications: %v", radios[1].busy)
 	}
 	if len(radios[2].busy) != 0 {

@@ -22,6 +22,7 @@ type NodeID int
 // Broadcast is the MAC broadcast address.
 const Broadcast NodeID = -1
 
+// String formats the node id as N<k> (or "bcast").
 func (n NodeID) String() string {
 	if n == Broadcast {
 		return "bcast"
@@ -32,18 +33,24 @@ func (n NodeID) String() string {
 // FlowID identifies an end-to-end flow.
 type FlowID int
 
+// String formats the flow id as F<k>.
 func (f FlowID) String() string { return fmt.Sprintf("F%d", int(f)) }
 
 // FrameType enumerates the 802.11 frame types the simulator models.
 type FrameType uint8
 
 const (
+	// FrameData carries a network-layer packet.
 	FrameData FrameType = iota
+	// FrameAck is the positive acknowledgement of a data frame.
 	FrameAck
+	// FrameRTS requests the medium ahead of a data frame (optional).
 	FrameRTS
+	// FrameCTS grants an RTS and reserves the medium via its NAV.
 	FrameCTS
 )
 
+// String returns the 802.11 frame-type mnemonic.
 func (t FrameType) String() string {
 	switch t {
 	case FrameData:
@@ -124,6 +131,7 @@ func (p *Packet) computeChecksum() uint16 {
 	return ^uint16(sum)
 }
 
+// String formats the packet's flow, sequence, endpoints and size.
 func (p *Packet) String() string {
 	return fmt.Sprintf("%v#%d %v->%v %dB", p.Flow, p.Seq, p.Src, p.Dst, p.Bytes)
 }
@@ -169,6 +177,7 @@ func (f *Frame) Bytes() int {
 	}
 }
 
+// String formats the frame's type, hop endpoints and payload, if any.
 func (f *Frame) String() string {
 	if f.Type == FrameData && f.Payload != nil {
 		return fmt.Sprintf("%v %v->%v [%v]", f.Type, f.TxSrc, f.TxDst, f.Payload)

@@ -5,8 +5,12 @@
 // forwarding: the upstream MAC keeps the packet at its queue head until
 // the ACK arrives, while the downstream node has already enqueued the same
 // pointer for its own hop — and on a retry-limit drop both may hold it at
-// once. Frames have exactly one owner (the in-flight transmission), so
-// they are returned to the pool unconditionally when their flight ends.
+// once. The channel additionally holds a reference for the duration of an
+// in-flight data frame, so a transmitter that abandons the packet mid-air
+// (dynamics halting a node and flushing its queues) cannot strand the
+// frame's payload pointer in recycled storage. Frames have exactly one
+// owner (the in-flight transmission), so they are returned to the pool
+// unconditionally when their flight ends.
 //
 // Pools are engine-local, like everything in a scenario: one Pool per
 // channel, touched only from that scenario's single-threaded event loop,

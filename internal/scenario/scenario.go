@@ -1,0 +1,372 @@
+// Package scenario loads declarative experiment descriptions from JSON:
+// a topology, a set of flows, the control mode under test, and a dynamics
+// timeline of timed perturbations. It is the bridge between "as many
+// scenarios as you can imagine" and the Go constructors — `ezsim
+// -scenario file.json` and campaign specs describe perturbed experiments
+// without writing code.
+//
+// A minimal spec:
+//
+//	{
+//	  "name": "chain4-linkfailure",
+//	  "topology": {"kind": "chain", "hops": 4},
+//	  "mode": "ezflow",
+//	  "duration_sec": 600,
+//	  "flows": [{"id": 1, "rate_bps": 2e6}],
+//	  "dynamics": [
+//	    {"at_sec": 200, "kind": "link-down", "a": 1, "b": 2},
+//	    {"at_sec": 230, "kind": "link-up", "a": 1, "b": 2}
+//	  ]
+//	}
+//
+// Build wires the spec into a runnable ezflow.Scenario. Runs are
+// deterministic: the same spec and seed produce byte-identical results.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"ezflow"
+	"ezflow/internal/dynamics"
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	// Name labels reports; optional.
+	Name string `json:"name,omitempty"`
+	// Topology selects and parameterises the network.
+	Topology Topology `json:"topology"`
+	// Mode is the control mechanism: 802.11 | ezflow | penalty | diffq
+	// (default 802.11).
+	Mode string `json:"mode,omitempty"`
+	// Seed is the run's random seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// DurationSec is the simulated horizon in seconds (default 600).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// WarmupSec excludes an initial interval from summary statistics.
+	WarmupSec float64 `json:"warmup_sec,omitempty"`
+	// CWCap is the hardware CWmin cap (0 = none).
+	CWCap int `json:"cw_cap,omitempty"`
+	// RecoveryTolerance is the stability metric's threshold fraction
+	// (default 0.2).
+	RecoveryTolerance float64 `json:"recovery_tolerance,omitempty"`
+	// Flows lists the traffic sources; empty selects each topology's
+	// default flows at 2 Mb/s.
+	Flows []Flow `json:"flows,omitempty"`
+	// Dynamics is the perturbation timeline, in any order (events are
+	// scheduled by their at_sec).
+	Dynamics []Event `json:"dynamics,omitempty"`
+}
+
+// Topology selects one of the repository's network builders.
+type Topology struct {
+	// Kind: chain | testbed | scenario1 | scenario2 | tree | grid | random.
+	Kind string `json:"kind"`
+	// Hops is the chain length (default 4).
+	Hops int `json:"hops,omitempty"`
+	// Branching and Depth shape the tree topology (defaults 3 and 2).
+	Branching int `json:"branching,omitempty"`
+	Depth     int `json:"depth,omitempty"`
+	// Width and Height shape the grid topology (defaults 4 and 4).
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// Nodes is the random-disk node count (default 12).
+	Nodes int `json:"nodes,omitempty"`
+	// Radius is the random-disk radius in metres (0 = auto).
+	Radius float64 `json:"radius,omitempty"`
+}
+
+// Flow describes one traffic source.
+type Flow struct {
+	ID int `json:"id"`
+	// RateBps is the source rate in bit/s (default 2e6).
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// Bytes is the packet size (default 1028).
+	Bytes int `json:"bytes,omitempty"`
+	// StartSec/StopSec bound the source's activity (StopSec 0 = whole run).
+	StartSec float64 `json:"start_sec,omitempty"`
+	StopSec  float64 `json:"stop_sec,omitempty"`
+	// Poisson selects Poisson arrivals instead of CBR.
+	Poisson bool `json:"poisson,omitempty"`
+}
+
+// Event is one timed perturbation. Kind selects which fields are read;
+// see internal/dynamics for the semantics of each kind.
+type Event struct {
+	AtSec float64 `json:"at_sec"`
+	// Kind: link-down | link-up | link-loss | node-down | node-up |
+	// region-loss | region-restore | flow-start | flow-stop | flow-rate.
+	Kind string `json:"kind"`
+	// A and B are the link endpoints of link-* events.
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+	// Node is the station of node-* events.
+	Node int `json:"node,omitempty"`
+	// Flow is the flow id of flow-* events.
+	Flow int `json:"flow,omitempty"`
+	// RateBps is the new rate of flow-rate events.
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// Loss is the erasure probability of link-loss / region-loss events.
+	Loss float64 `json:"loss,omitempty"`
+	// X, Y and Radius define the region of region-loss events.
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	// Drop makes node-down discard queued packets instead of draining
+	// them on restart.
+	Drop bool `json:"drop,omitempty"`
+	// Reroute triggers BFS route repair after the event applies. Only
+	// link-down/link-up/node-down/node-up accept it.
+	Reroute bool `json:"reroute,omitempty"`
+}
+
+// eventKinds maps scenario-file spellings to dynamics kinds.
+var eventKinds = map[string]dynamics.Kind{
+	"link-down":      dynamics.LinkDown,
+	"link-up":        dynamics.LinkUp,
+	"link-loss":      dynamics.LinkLoss,
+	"node-down":      dynamics.NodeDown,
+	"node-up":        dynamics.NodeUp,
+	"region-loss":    dynamics.RegionLoss,
+	"region-restore": dynamics.RegionRestore,
+	"flow-start":     dynamics.FlowStart,
+	"flow-stop":      dynamics.FlowStop,
+	"flow-rate":      dynamics.FlowRate,
+}
+
+// ParseMode maps the scenario-file and CLI spellings of the four control
+// modes; the empty string selects plain 802.11 (the default). It is the
+// single spelling table — campaign.ParseMode delegates here, so a
+// scenario file can never parse under one CLI and be rejected by the
+// other.
+func ParseMode(s string) (ezflow.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "802.11", "80211", "plain":
+		return ezflow.Mode80211, nil
+	case "ezflow", "ez-flow":
+		return ezflow.ModeEZFlow, nil
+	case "penalty":
+		return ezflow.ModePenalty, nil
+	case "diffq":
+		return ezflow.ModeDiffQ, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown mode %q (want 802.11|ezflow|penalty|diffq)", s)
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a JSON scenario spec. Unknown fields are
+// rejected so typos fail loudly instead of silently configuring nothing.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks everything that can be checked without building the
+// mesh (node-id existence is validated at Build time by the dynamics
+// engine, which knows the topology).
+func (s *Spec) Validate() error {
+	switch s.Topology.Kind {
+	case "chain", "testbed", "scenario1", "scenario2", "tree", "grid", "random":
+	case "":
+		return fmt.Errorf("scenario: topology.kind is required")
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %q", s.Topology.Kind)
+	}
+	if _, err := ParseMode(s.Mode); err != nil {
+		return err
+	}
+	if s.DurationSec < 0 {
+		return fmt.Errorf("scenario: negative duration_sec %g", s.DurationSec)
+	}
+	seen := map[int]bool{}
+	for i, f := range s.Flows {
+		if f.ID <= 0 {
+			return fmt.Errorf("scenario: flow %d: id must be positive", i)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("scenario: duplicate flow id %d", f.ID)
+		}
+		seen[f.ID] = true
+		if f.RateBps < 0 {
+			return fmt.Errorf("scenario: flow %d: negative rate_bps", f.ID)
+		}
+	}
+	dur := s.DurationSec
+	if dur <= 0 {
+		dur = ezflow.DefaultDuration.Seconds()
+	}
+	for i, ev := range s.Dynamics {
+		if _, ok := eventKinds[ev.Kind]; !ok {
+			return fmt.Errorf("scenario: dynamics[%d]: unknown kind %q", i, ev.Kind)
+		}
+		if ev.AtSec < 0 {
+			return fmt.Errorf("scenario: dynamics[%d]: negative at_sec", i)
+		}
+		if ev.AtSec > dur {
+			return fmt.Errorf("scenario: dynamics[%d]: at_sec %g beyond duration %g", i, ev.AtSec, dur)
+		}
+	}
+	return nil
+}
+
+// Script converts the spec's dynamics timeline into a dynamics script.
+func (s *Spec) Script() *dynamics.Script {
+	if len(s.Dynamics) == 0 {
+		return nil
+	}
+	sc := &dynamics.Script{}
+	for _, ev := range s.Dynamics {
+		sc.Add(dynamics.Event{
+			At:      sim.FromSeconds(ev.AtSec),
+			Kind:    eventKinds[ev.Kind],
+			A:       pkt.NodeID(ev.A),
+			B:       pkt.NodeID(ev.B),
+			Node:    pkt.NodeID(ev.Node),
+			Flow:    pkt.FlowID(ev.Flow),
+			RateBps: ev.RateBps,
+			Loss:    ev.Loss,
+			Center:  phy.Position{X: ev.X, Y: ev.Y},
+			Radius:  ev.Radius,
+			Drop:    ev.Drop,
+			Reroute: ev.Reroute,
+		})
+	}
+	return sc
+}
+
+// Config resolves the spec's shared run parameters into an ezflow.Config.
+func (s *Spec) Config() ezflow.Config {
+	cfg := ezflow.DefaultConfig()
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.DurationSec > 0 {
+		cfg.Duration = sim.FromSeconds(s.DurationSec)
+	}
+	cfg.Mode, _ = ParseMode(s.Mode) // Validate vetted the spelling
+	cfg.MAC.HardwareCWCap = s.CWCap
+	cfg.WarmupSkip = sim.FromSeconds(s.WarmupSec)
+	cfg.RecoveryTolerance = s.RecoveryTolerance
+	cfg.Dynamics = s.Script()
+	return cfg
+}
+
+// FlowSpecs converts the spec's flows into ezflow flow specs.
+func (s *Spec) FlowSpecs() []ezflow.FlowSpec {
+	out := make([]ezflow.FlowSpec, 0, len(s.Flows))
+	for _, f := range s.Flows {
+		rate := f.RateBps
+		if rate == 0 {
+			rate = 2e6
+		}
+		out = append(out, ezflow.FlowSpec{
+			Flow:    ezflow.FlowID(f.ID),
+			RateBps: rate,
+			Bytes:   f.Bytes,
+			Start:   sim.FromSeconds(f.StartSec),
+			Stop:    sim.FromSeconds(f.StopSec),
+			Poisson: f.Poisson,
+		})
+	}
+	return out
+}
+
+// Build wires the spec into a runnable scenario. Topology construction
+// panics (disconnected placements, routes through unknown nodes, dynamics
+// events naming absent nodes) are converted into errors.
+func (s *Spec) Build() (*ezflow.Scenario, error) {
+	return s.BuildWith(s.Config(), s.FlowSpecs())
+}
+
+// BuildWith wires the spec's topology around a caller-resolved config and
+// flow list — the campaign layer uses it to sweep mode/rate/cap/seed axes
+// over one scenario file. The spec's own mode/seed/duration fields are
+// ignored in favour of cfg; its dynamics timeline still applies whenever
+// the caller left cfg.Dynamics nil.
+func (s *Spec) BuildWith(cfg ezflow.Config, flows []ezflow.FlowSpec) (sc *ezflow.Scenario, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc, err = nil, fmt.Errorf("scenario: building %q: %v", s.Topology.Kind, r)
+		}
+	}()
+	if cfg.Dynamics == nil {
+		cfg.Dynamics = s.Script()
+	}
+	t := s.Topology
+	switch t.Kind {
+	case "chain":
+		hops := t.Hops
+		if hops <= 0 {
+			hops = 4
+		}
+		if len(flows) == 0 {
+			flows = []ezflow.FlowSpec{{Flow: 1, RateBps: 2e6}}
+		}
+		sc = ezflow.NewChain(hops, cfg, flows...)
+	case "testbed":
+		if len(flows) == 0 {
+			flows = []ezflow.FlowSpec{{Flow: 1, RateBps: 2e6}, {Flow: 2, RateBps: 2e6}}
+		}
+		sc = ezflow.NewTestbed(cfg, flows...)
+	case "scenario1":
+		if len(flows) == 0 {
+			flows = []ezflow.FlowSpec{{Flow: 1, RateBps: 2e6}, {Flow: 2, RateBps: 2e6}}
+		}
+		sc = ezflow.NewScenario1(cfg, flows...)
+	case "scenario2":
+		if len(flows) == 0 {
+			flows = []ezflow.FlowSpec{{Flow: 1, RateBps: 2e6}, {Flow: 2, RateBps: 2e6}, {Flow: 3, RateBps: 2e6}}
+		}
+		sc = ezflow.NewScenario2(cfg, flows...)
+	case "tree":
+		b, d := t.Branching, t.Depth
+		if b <= 0 {
+			b = 3
+		}
+		if d <= 0 {
+			d = 2
+		}
+		sc = ezflow.NewTree(b, d, cfg, flows...)
+	case "grid":
+		w, h := t.Width, t.Height
+		if w <= 0 {
+			w = 4
+		}
+		if h <= 0 {
+			h = 4
+		}
+		sc = ezflow.NewGrid(w, h, cfg, flows...)
+	case "random":
+		n := t.Nodes
+		if n <= 0 {
+			n = 12
+		}
+		sc = ezflow.NewRandom(n, t.Radius, cfg, flows...)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+	return sc, nil
+}

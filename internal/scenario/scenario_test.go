@@ -1,0 +1,129 @@
+package scenario_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ezflow"
+	"ezflow/internal/scenario"
+)
+
+const flapSpec = `{
+  "name": "chain3-flap",
+  "topology": {"kind": "chain", "hops": 3},
+  "mode": "ezflow",
+  "seed": 3,
+  "duration_sec": 24,
+  "flows": [{"id": 1, "rate_bps": 4e5}],
+  "dynamics": [
+    {"at_sec": 8, "kind": "link-down", "a": 1, "b": 2, "reroute": true},
+    {"at_sec": 14, "kind": "link-up", "a": 1, "b": 2, "reroute": true}
+  ]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	spec, err := scenario.Parse([]byte(flapSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "chain3-flap" || spec.Topology.Hops != 3 || len(spec.Dynamics) != 2 {
+		t.Fatalf("parsed spec wrong: %+v", spec)
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cfg.Mode != ezflow.ModeEZFlow || sc.Cfg.Seed != 3 {
+		t.Errorf("config not applied: mode=%v seed=%d", sc.Cfg.Mode, sc.Cfg.Seed)
+	}
+	if sc.Dyn == nil {
+		t.Fatal("dynamics not attached")
+	}
+	res := sc.Run()
+	if res.Stability == nil {
+		t.Fatal("no stability metrics from a faulted scenario")
+	}
+	if res.Flows[1].Delivered == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+// TestScenarioRunDeterminism pins the tentpole guarantee at the scenario
+// level: the same JSON and seed produce an identical result, packet for
+// packet, run after run.
+func TestScenarioRunDeterminism(t *testing.T) {
+	var results []*ezflow.Result
+	for i := 0; i < 2; i++ {
+		spec, err := scenario.Parse([]byte(flapSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, sc.Run())
+	}
+	a, b := results[0], results[1]
+	if a.Flows[1].Delivered != b.Flows[1].Delivered {
+		t.Errorf("delivered differs: %d vs %d", a.Flows[1].Delivered, b.Flows[1].Delivered)
+	}
+	if !reflect.DeepEqual(a.Flows[1].Throughput.Points, b.Flows[1].Throughput.Points) {
+		t.Error("throughput series differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.DynamicsLog, b.DynamicsLog) {
+		t.Error("dynamics logs differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Stability, b.Stability) {
+		t.Error("stability metrics differ between identical runs")
+	}
+}
+
+func TestBuildAllTopologyKinds(t *testing.T) {
+	for _, kind := range []string{"chain", "testbed", "scenario1", "scenario2", "tree", "grid", "random"} {
+		spec := &scenario.Spec{Topology: scenario.Topology{Kind: kind}, DurationSec: 1}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		sc, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(sc.Mesh.Flows()) == 0 {
+			t.Errorf("%s: no default flows installed", kind)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"topology": {"kind": "chain"}, "bogus": 1}`,
+		"no kind":       `{"topology": {"hops": 3}}`,
+		"bad kind":      `{"topology": {"kind": "torus"}}`,
+		"bad mode":      `{"topology": {"kind": "chain"}, "mode": "tcp"}`,
+		"dup flow":      `{"topology": {"kind": "chain"}, "flows": [{"id": 1}, {"id": 1}]}`,
+		"zero flow id":  `{"topology": {"kind": "chain"}, "flows": [{"id": 0}]}`,
+		"bad event":     `{"topology": {"kind": "chain"}, "dynamics": [{"at_sec": 1, "kind": "meteor"}]}`,
+		"late event":    `{"topology": {"kind": "chain"}, "duration_sec": 10, "dynamics": [{"at_sec": 20, "kind": "link-up"}]}`,
+	}
+	for name, src := range cases {
+		if _, err := scenario.Parse([]byte(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownDynamicsNode(t *testing.T) {
+	src := `{
+	  "topology": {"kind": "chain", "hops": 2},
+	  "dynamics": [{"at_sec": 1, "kind": "node-down", "node": 77}]
+	}`
+	spec, err := scenario.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("Build error = %v, want unknown-node", err)
+	}
+}

@@ -43,14 +43,10 @@ func NewCBR(m *mesh.Mesh, flow pkt.FlowID, rateBps float64, bytes int) *Source {
 	if bytes <= 0 {
 		bytes = pkt.DefaultPayloadBytes
 	}
-	gap := sim.Time(float64(bytes*8) / rateBps * float64(sim.Second))
-	if gap <= 0 {
-		gap = sim.Nanosecond
-	}
 	s := &Source{
 		m: m, flow: flow,
 		src: route[0], dst: route[len(route)-1],
-		bytes: bytes, period: gap, rateBps: rateBps,
+		bytes: bytes, period: cbrGap(bytes, rateBps), rateBps: rateBps,
 	}
 	s.emitFn = s.emit
 	return s
@@ -65,6 +61,31 @@ func NewPoisson(m *mesh.Mesh, flow pkt.FlowID, rateBps float64, bytes int) *Sour
 
 // Flow reports the source's flow id.
 func (s *Source) Flow() pkt.FlowID { return s.flow }
+
+// RateBps reports the source's configured rate in bit/s.
+func (s *Source) RateBps() float64 { return s.rateBps }
+
+// SetRate changes the source's rate in bit/s — the traffic-dynamics knob
+// (rate steps and surges) of the dynamics layer. The new inter-packet gap
+// applies from the next emission; an emission already scheduled fires at
+// its original time, so a rate change never reorders past events.
+func (s *Source) SetRate(rateBps float64) {
+	if rateBps <= 0 {
+		panic("traffic: SetRate with non-positive rate")
+	}
+	s.period = cbrGap(s.bytes, rateBps)
+	s.rateBps = rateBps
+}
+
+// cbrGap is the inter-packet gap that produces rateBps with the given
+// packet size, clamped to at least one virtual nanosecond.
+func cbrGap(bytes int, rateBps float64) sim.Time {
+	gap := sim.Time(float64(bytes*8) / rateBps * float64(sim.Second))
+	if gap <= 0 {
+		gap = sim.Nanosecond
+	}
+	return gap
+}
 
 // Active reports whether the source is currently generating.
 func (s *Source) Active() bool { return s.active }

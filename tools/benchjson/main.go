@@ -1,16 +1,26 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // stable JSON document on stdout, so benchmark runs can be archived as CI
-// artifacts (BENCH_PR2.json) and diffed across PRs without parsing the
+// artifacts (BENCH_PR3.json) and diffed across PRs without parsing the
 // text format downstream.
+//
+// With -baseline it additionally acts as the repository's performance
+// regression gate: every benchmark present in the baseline document is
+// compared against the fresh run, and the command exits non-zero when
+// ns/op or allocs/op regressed by more than -tolerance (relative). A
+// zero-alloc baseline is pinned exactly: any allocation at all fails,
+// which is what guards the simulator's hot path.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... | go run ./tools/benchjson
+//	go run ./tools/benchjson -baseline BENCH_PR2.json -tolerance 0.25 \
+//	    < bench.out > BENCH_PR3.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,9 +41,53 @@ type Output struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// gatedMetrics are the metrics the -baseline gate checks; for both,
+// larger is worse.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = convert only)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per gated metric")
+	flag.Parse()
+
+	out := parseBench(os.Stdin)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *baseline == "" {
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var base Output
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	regressions := compare(base, out, *tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION "+r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s\n",
+			len(regressions), *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% vs %s (%d benchmarks gated)\n",
+		*tolerance*100, *baseline, len(base.Benchmarks))
+}
+
+// parseBench reads `go test -bench` text into an Output.
+func parseBench(in *os.File) Output {
 	var out Output
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -66,10 +120,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return out
+}
+
+// compare gates cur against base and returns one line per regression.
+// Benchmarks missing from the fresh run count as regressions too — a
+// silently deleted benchmark must not silently delete its guarantee.
+func compare(base, cur Output, tol float64) []string {
+	byName := map[string]Result{}
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
 	}
+	var out []string
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but not in this run", b.Name))
+			continue
+		}
+		for _, m := range gatedMetrics {
+			old, okOld := b.Metrics[m]
+			cv, okNew := c.Metrics[m]
+			if !okOld {
+				continue
+			}
+			if !okNew {
+				out = append(out, fmt.Sprintf("%s %s: metric missing from this run", b.Name, m))
+				continue
+			}
+			if old == 0 {
+				if cv > 0 {
+					out = append(out, fmt.Sprintf("%s %s: %.0f vs pinned 0", b.Name, m, cv))
+				}
+				continue
+			}
+			if cv > old*(1+tol) {
+				out = append(out, fmt.Sprintf("%s %s: %.1f vs %.1f (+%.0f%%)",
+					b.Name, m, cv, old, (cv/old-1)*100))
+			}
+		}
+	}
+	return out
 }

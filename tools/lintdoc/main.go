@@ -1,8 +1,9 @@
 // Command lintdoc enforces the repository's godoc conventions without
 // external dependencies (the CI image is offline): every package must
 // carry a package-level doc comment, and every exported symbol of the
-// public root package (ezflow) must have a doc comment. It exits non-zero
-// with a file:line report when either rule is violated.
+// public root package (ezflow) and of every internal/... package must
+// have a doc comment. It exits non-zero with a file:line report when
+// either rule is violated.
 //
 // Usage (from the module root):
 //
@@ -21,9 +22,13 @@ import (
 	"strings"
 )
 
-// strictDirs lists package directories whose exported symbols must all be
-// documented (not just the package clause). "." is the public API.
-var strictDirs = map[string]bool{".": true}
+// strict reports whether a package directory's exported symbols must all
+// be documented (not just the package clause): the public API at the root
+// and every internal package. Exported names inside internal/ are the
+// contract between the repository's layers; undocumented ones rot first.
+func strict(dir string) bool {
+	return dir == "." || dir == "internal" || strings.HasPrefix(dir, "internal/")
+}
 
 func main() {
 	dirs := map[string][]string{}
@@ -83,7 +88,7 @@ func checkDir(dir string, files []string) []string {
 		if f.Doc != nil {
 			hasPkgDoc = true
 		}
-		if strictDirs[dir] {
+		if strict(dir) {
 			problems = append(problems, checkExported(fset, f)...)
 		}
 	}
