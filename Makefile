@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: check test lint staticcheck bench bench-all clean
+# Experiment and output directory for `make profile`.
+EXP ?= scale
+PROFILE_DIR ?= profiles
+
+.PHONY: check test lint staticcheck bench bench-all profile clean
 
 # check is the tier-1 gate: format, vet, doc lint, staticcheck, build,
 # race tests.
@@ -30,24 +34,42 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-# bench runs the hot-path benchmarks guarding the simulator core, gates
-# them against the committed baseline (BENCH_PR2.json; >25% ns/op or
-# allocs/op regression fails, zero-alloc pins fail on any alloc), and
-# archives the fresh run as BENCH_PR3.json (uploaded as a CI artifact,
-# committed when the recorded trajectory changes).
+# bench runs the hot-path benchmarks guarding the simulator core — the
+# end-to-end chain and large-topology scenarios, the event-queue
+# micro-benchmarks, and the PHY transmission path — gates them against
+# the committed baseline (BENCH_PR3.json; >25% ns/op or allocs/op
+# regression fails, zero-alloc pins fail on any alloc), archives the
+# fresh run as BENCH_PR4.json (uploaded as a CI artifact, committed when
+# the recorded trajectory changes), and prints the speedup table.
 bench:
-	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput' -benchmem \
-	    -run='^$$' -benchtime=20x . | tee /tmp/bench.out
+	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput|^BenchmarkGrid100Run$$|^BenchmarkRandomDisk200Run$$|^BenchmarkDiskScaling$$' \
+	    -benchmem -run='^$$' -benchtime=20x . | tee /tmp/bench.out
 	$(GO) test -bench='^BenchmarkEngine' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/sim | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson -baseline BENCH_PR2.json -tolerance 0.25 \
-	    < /tmp/bench.out > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	$(GO) test -bench='^BenchmarkChannelTransmit' -benchmem -run='^$$' -benchtime=1s \
+	    ./internal/phy | tee -a /tmp/bench.out
+	$(GO) run ./tools/benchjson -baseline BENCH_PR3.json -tolerance 0.25 \
+	    < /tmp/bench.out > BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
+	$(GO) run ./tools/benchjson -compare BENCH_PR3.json BENCH_PR4.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
+# profile writes CPU and allocation pprof profiles of one ezbench
+# experiment (default: the large-topology scale sweep). Inspect with
+#
+#	go tool pprof -top $(PROFILE_DIR)/cpu.pprof
+#
+# Override the experiment with `make profile EXP=scenario1`.
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/ezbench -exp $(EXP) \
+	    -cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/mem.pprof
+	@echo wrote $(PROFILE_DIR)/cpu.pprof and $(PROFILE_DIR)/mem.pprof
+
 clean:
 	rm -f /tmp/bench.out
+	rm -rf $(PROFILE_DIR)

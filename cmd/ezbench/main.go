@@ -2,8 +2,9 @@
 // evaluation in one run and prints each as a report: Figure 1, Table 1,
 // Figure 4 + Table 2, Scenario 1 (Figures 6-8), Scenario 2 (Figures 10-11 +
 // Table 3), and the §6 Theorem 1 random-walk analysis — plus the
-// extension experiments (hopsweep, tree, rtscts, bidir, and the
-// fault-injection stability experiment; see docs/PAPER_MAP.md).
+// extension experiments (hopsweep, tree, rtscts, bidir, the
+// fault-injection stability experiment, and the large-topology scale
+// sweep; see docs/PAPER_MAP.md).
 //
 // Usage:
 //
@@ -11,6 +12,8 @@
 //	ezbench -scale 1           # full paper durations (slow)
 //	ezbench -exp fig1,table1   # a subset
 //	ezbench -parallel 8        # fan each experiment's runs over 8 workers
+//	ezbench -exp scale -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                           # profile an experiment (see `make profile`)
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ezflow/internal/buildinfo"
@@ -39,6 +43,7 @@ var experiments = []struct {
 	{"rtscts", func(o exp.Options) *exp.Report { return &exp.RTSCTS(o).Report }},
 	{"bidir", func(o exp.Options) *exp.Report { return &exp.Bidirectional(o).Report }},
 	{"stability", func(o exp.Options) *exp.Report { return &exp.Stability(o).Report }},
+	{"scale", func(o exp.Options) *exp.Report { return &exp.Scale(o).Report }},
 }
 
 // aliases lets users name experiments by the figure/table they regenerate.
@@ -50,11 +55,13 @@ var aliases = map[string]string{
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		scale    = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
-		which    = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1,hopsweep,tree,rtscts,bidir,stability or figure/table aliases)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
-		version  = flag.Bool("version", false, "print version and exit")
+		seed       = flag.Int64("seed", 1, "random seed")
+		scale      = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
+		which      = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1,hopsweep,tree,rtscts,bidir,stability,scale or figure/table aliases)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU pprof profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation pprof profile (after the run) to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -62,6 +69,13 @@ func main() {
 		return
 	}
 
+	// Resolve and validate the experiment selection before any profiling
+	// starts: exiting on a typo'd name must not leave a truncated
+	// cpu.pprof behind (os.Exit skips the deferred StopCPUProfile).
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
 	want := map[string]bool{}
 	if *which != "" {
 		for _, w := range strings.Split(*which, ",") {
@@ -69,22 +83,51 @@ func main() {
 			if a, ok := aliases[w]; ok {
 				w = a
 			}
+			if !known[w] {
+				fmt.Fprintf(os.Stderr, "ezbench: no experiment matched %q\n", w)
+				os.Exit(1)
+			}
 			want[w] = true
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// Materialise outstanding allocation records: pprof profiles
+			// reflect state as of the last completed GC cycle.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+			}
+		}()
+	}
+
 	o := exp.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
-	ran := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {
 			continue
 		}
 		fmt.Print(e.run(o).String())
 		fmt.Println()
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "ezbench: no experiment matched %q\n", *which)
-		os.Exit(1)
 	}
 }

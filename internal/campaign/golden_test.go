@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ezflow/internal/scenario"
+)
+
+// goldenTopologies names the scenario fixtures the golden campaigns run
+// over: one grid and one random-disk deployment, each with a full
+// dynamics timeline (link flap with reroute, node churn with queue drop,
+// region-wide loss with save/restore) so every PHY mutation path — link
+// severing, loss override and restore, halt/restart, repair-created
+// links — is exercised under the byte-identity pin.
+var goldenTopologies = []string{"grid", "random"}
+
+func goldenSpec(t *testing.T, topo string) Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_"+topo+"_scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Name:     "golden-" + topo,
+		Scenario: s,
+		Axes: []Axis{
+			{Name: "mode", Values: []string{"802.11", "ezflow"}},
+		},
+		Reps:     2,
+		BaseSeed: 11,
+	}
+}
+
+// runGolden executes the golden campaign for one topology at the given
+// worker count and returns the JSON and CSV sink outputs.
+func runGolden(t *testing.T, topo string, parallel int) (js, cs []byte) {
+	t.Helper()
+	eng := Engine{Parallel: parallel}
+	res, err := eng.Run(goldenSpec(t, topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb, cb bytes.Buffer
+	if err := (JSONSink{W: &jb}).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CSVSink{W: &cb}).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestGoldenDynamicsCampaigns pins campaign output byte-for-byte against
+// the committed goldens, for grid and random topologies with an active
+// dynamics script, at several worker counts. It is the acceptance test
+// of the PHY neighbor-index refactor: the indexed hot path must consume
+// the RNG stream in exactly the order the O(N) implementation did, so a
+// single changed erasure draw fails this test.
+//
+// Regenerate (only after an intentional behaviour change) with
+//
+//	EZFLOW_UPDATE_GOLDEN=1 go test ./internal/campaign -run Golden
+func TestGoldenDynamicsCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	update := os.Getenv("EZFLOW_UPDATE_GOLDEN") != ""
+	for _, topo := range goldenTopologies {
+		jsonPath := filepath.Join("testdata", "golden_"+topo+".json")
+		csvPath := filepath.Join("testdata", "golden_"+topo+".csv")
+		if update {
+			js, cs := runGolden(t, topo, 1)
+			if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(csvPath, cs, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s goldens", topo)
+		}
+		wantJSON, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCSV, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parallel := range []int{1, 4, 7} {
+			name := fmt.Sprintf("%s/parallel=%d", topo, parallel)
+			js, cs := runGolden(t, topo, parallel)
+			if !bytes.Equal(js, wantJSON) {
+				t.Errorf("%s: JSON diverges from golden %s", name, jsonPath)
+			}
+			if !bytes.Equal(cs, wantCSV) {
+				t.Errorf("%s: CSV diverges from golden %s", name, csvPath)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	root "ezflow"
+)
+
+// TestScaleShape runs the scale sweep at the minimum duration and checks
+// every cell is populated: each topology size has a positive throughput
+// in both modes (the large-topology axis must actually carry traffic).
+func TestScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	r := Scale(Options{Seed: 1, Scale: 0.01, Parallel: 4})
+	for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+		for _, side := range r.GridSides {
+			if r.GridKbps[mode][side] <= 0 {
+				t.Errorf("%v grid side=%d: no throughput", mode, side)
+			}
+		}
+		for _, n := range r.DiskNodes {
+			if r.DiskKbps[mode][n] <= 0 {
+				t.Errorf("%v disk n=%d: no throughput", mode, n)
+			}
+			if r.DiskHops[n] < 2 {
+				t.Errorf("disk n=%d: rim flow has only %d hops", n, r.DiskHops[n])
+			}
+		}
+	}
+	if len(r.Report.Lines) != len(r.GridSides)+len(r.DiskNodes)+1 {
+		t.Errorf("report has %d lines", len(r.Report.Lines))
+	}
+	if !strings.Contains(r.Report.String(), "disk n=200") {
+		t.Error("report misses the 200-node disk row")
+	}
+}
+
+// TestScaleDeterministicAcrossWorkers pins the experiment's report to be
+// identical for any parallelism (the repository-wide campaign rule).
+func TestScaleDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	serial := Scale(Options{Seed: 3, Scale: 0.01, Parallel: 1}).Report.String()
+	fanned := Scale(Options{Seed: 3, Scale: 0.01, Parallel: 8}).Report.String()
+	if serial != fanned {
+		t.Error("scale report differs between 1 and 8 workers")
+	}
+}

@@ -242,6 +242,7 @@ type MAC struct {
 	id   pkt.NodeID
 	eng  *sim.Engine
 	ch   *phy.Channel
+	st   *phy.Station // this node's PHY handle; transmissions skip the id lookup
 	pool *pkt.Pool
 	cfg  Config
 
@@ -266,8 +267,8 @@ type MAC struct {
 	retryCW    int      // current retry contention window
 	navUntil   sim.Time // virtual carrier sense (RTS/CTS)
 	pendingCtl *pkt.Frame
-	ctlSaved   txState                              // state to restore after a control response
-	lastSeq    map[pkt.NodeID]map[pkt.FlowID]uint64 // duplicate filter
+	ctlSaved   txState           // state to restore after a control response
+	lastSeq    map[dupKey]uint64 // duplicate filter, one flat lookup per decode
 
 	// Bound callbacks, built once in New so the per-frame timers (backoff
 	// expiry, ACK timeout, air-time completion, SIFS-deferred responses)
@@ -307,7 +308,7 @@ func New(eng *sim.Engine, ch *phy.Channel, id pkt.NodeID, pos phy.Position, cfg 
 		ch:      ch,
 		pool:    ch.Pool(),
 		cfg:     cfg,
-		lastSeq: make(map[pkt.NodeID]map[pkt.FlowID]uint64),
+		lastSeq: make(map[dupKey]uint64),
 	}
 	m.accessWonFn = m.accessWon
 	m.ackTimeoutFn = m.ackTimeout
@@ -325,8 +326,15 @@ func New(eng *sim.Engine, ch *phy.Channel, id pkt.NodeID, pos phy.Position, cfg 
 	m.sendCtlFn = m.sendCtl
 	m.ctlDoneFn = m.ctlDone
 	m.kickFn = m.kick
-	ch.AddNode(id, pos, m)
+	m.st = ch.AddNode(id, pos, m)
 	return m
+}
+
+// dupKey identifies one (transmitter, flow) stream in the duplicate
+// filter.
+type dupKey struct {
+	src  pkt.NodeID
+	flow pkt.FlowID
 }
 
 // ID reports the node id.
@@ -501,16 +509,12 @@ func (m *MAC) rxData(f *pkt.Frame) {
 	if p == nil {
 		return
 	}
-	flows, ok := m.lastSeq[f.TxSrc]
-	if !ok {
-		flows = make(map[pkt.FlowID]uint64)
-		m.lastSeq[f.TxSrc] = flows
-	}
-	if last, seen := flows[p.Flow]; seen && last == p.Seq {
+	k := dupKey{f.TxSrc, p.Flow}
+	if last, seen := m.lastSeq[k]; seen && last == p.Seq {
 		m.RxDup++
 		return
 	}
-	flows[p.Flow] = p.Seq
+	m.lastSeq[k] = p.Seq
 	m.RxData++
 	if m.deliver != nil {
 		m.deliver(p, f.TxSrc)
@@ -586,7 +590,7 @@ func (m *MAC) sendCtl() {
 	}
 	m.ctlSaved = m.state
 	m.state = stTxCtl
-	end := m.ch.Transmit(m.id, ctl)
+	end := m.ch.TransmitFrom(m.st, ctl)
 	m.txEnd = end
 	m.eng.ScheduleFuncAt(end, m.ctlDoneFn)
 }
@@ -741,7 +745,7 @@ func (m *MAC) sendData() {
 		}
 	}
 	m.state = stTxData
-	end := m.ch.Transmit(m.id, f)
+	end := m.ch.TransmitFrom(m.st, f)
 	m.txEnd = end
 	ackTime := m.ch.AirTime(pkt.AckBytes)
 	timeout := (end - m.eng.Now()) + SIFS + ackTime + SlotTime
@@ -756,7 +760,7 @@ func (m *MAC) sendRTS() {
 	f.Type, f.TxSrc, f.TxDst, f.NAV = pkt.FrameRTS, m.id, m.cur.next, nav
 	m.attempts++
 	m.state = stTxData
-	end := m.ch.Transmit(m.id, f)
+	end := m.ch.TransmitFrom(m.st, f)
 	m.txEnd = end
 	timeout := (end - m.eng.Now()) + SIFS + m.ch.AirTime(pkt.CTSBytes) + SlotTime
 	m.eng.ScheduleFuncAt(end, m.rtsEndFn)

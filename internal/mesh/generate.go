@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"ezflow/internal/mac"
@@ -152,6 +153,11 @@ func samplePositions(rng *rand.Rand, n int, radius float64) []phy.Position {
 // graph rooted at node 0, visiting neighbours in ascending id order so the
 // resulting shortest-path tree is deterministic. parent[i] is i's
 // predecessor toward the gateway, or -1 if unreachable.
+//
+// Candidates come from the same spatial hash the PHY neighbor index is
+// built with, so a connectivity pass is O(N·degree) instead of O(N²);
+// sorting each cell-neighborhood batch keeps the visit order — and with
+// it the resulting tree — identical to the all-pairs scan.
 func bfsFromGateway(pos []phy.Position, txRange float64) []int {
 	n := len(pos)
 	parent := make([]int, n)
@@ -159,11 +165,17 @@ func bfsFromGateway(pos []phy.Position, txRange float64) []int {
 		parent[i] = -1
 	}
 	parent[0] = 0
-	queue := []int{0}
+	g := phy.NewSpatialGrid(pos, txRange)
+	queue := make([]int, 0, n)
+	queue = append(queue, 0)
+	var cand []int32
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v := 0; v < n; v++ {
+		cand = g.Near(pos[u], cand[:0])
+		slices.Sort(cand)
+		for _, v32 := range cand {
+			v := int(v32)
 			if parent[v] < 0 && pos[u].Dist(pos[v]) <= txRange {
 				parent[v] = u
 				queue = append(queue, v)

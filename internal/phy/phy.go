@@ -18,7 +18,6 @@ package phy
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
@@ -99,25 +98,38 @@ type Radio interface {
 
 // transmission is an in-flight frame. Transmissions are pooled by the
 // channel; finishFn is built once per pooled object so completing a flight
-// schedules no new closure.
+// schedules no new closure. srcn caches the transmitter's station and
+// flightIdx its position in the flight list, so completing a flight does
+// neither a map lookup nor a linear scan.
 type transmission struct {
-	src      pkt.NodeID
-	frame    *pkt.Frame
-	start    sim.Time
-	end      sim.Time
-	finishFn func()
+	srcn      *Station
+	frame     *pkt.Frame
+	start     sim.Time
+	end       sim.Time
+	flightIdx int
+	finishFn  func()
 }
 
-// node is the PHY-side state of one station.
-type node struct {
-	id     pkt.NodeID
-	pos    Position
-	radio  Radio
-	sensed int  // number of in-flight transmissions within CS range
-	busyTx bool // this node is currently transmitting
-	// reception tracking: the candidate frame currently being decoded and
-	// whether it has been corrupted by an overlapping transmission.
-	rx *reception
+// Station is the PHY-side identity of one registered node. AddNode
+// returns it as an opaque handle; the MAC layer passes it back to
+// TransmitFrom so the per-transmission path never resolves a node id
+// through a map. Mutable per-event state (carrier-sense counts, busy
+// flags, reception tracking) lives in the Channel's dense slot-indexed
+// arrays, not here, so the hot-path walks stay within a few
+// cache-resident slices.
+type Station struct {
+	id    pkt.NodeID
+	pos   Position
+	radio Radio
+	slot  int32 // dense index (position in Channel.order); -1 until indexed
+	// Neighbor index (built in index.go): nbrs lists every station within
+	// interference range ascending by slot; nbrSlots mirrors their slots
+	// in a flat array for cache-dense binary search; csNbrs indexes the
+	// subsequence of nbrs within carrier-sense range (the only stations
+	// finish can owe a sensed-- or a delivery to).
+	nbrs     []link
+	nbrSlots []int32
+	csNbrs   []int32
 }
 
 // reception is the state of a receiver locked onto one frame. ns-2
@@ -125,7 +137,9 @@ type node struct {
 // receiver, even if it is too weak to decode (a "noise lock"); later
 // overlapping frames either are captured over (signal/interference >=
 // CaptureRatio) or corrupt the locked frame. The receiver never switches
-// to a later, stronger frame.
+// to a later, stronger frame. Receptions live by value in the channel's
+// slot-indexed rx array (tx == nil means idle), so locking and resolving
+// a receiver is a dense array write, not a pool round-trip.
 type reception struct {
 	tx        *transmission
 	signal    float64 // received power of the locked frame
@@ -135,19 +149,36 @@ type reception struct {
 
 // Channel is the shared medium connecting all nodes.
 type Channel struct {
-	cfg   Config
-	eng   *sim.Engine
-	nodes map[pkt.NodeID]*node
-	// order holds the nodes sorted by id. All broadcast iteration uses it
-	// so that same-instant event scheduling is deterministic (map
-	// iteration order would make runs diverge).
-	order  []*node
+	cfg Config
+	eng *sim.Engine
+	// idx maps node ids to dense slots; order holds the stations in slot
+	// (= ascending id) order. All broadcast iteration follows it so that
+	// same-instant event scheduling is deterministic, and per-event code
+	// resolves stations by slot instead of hashing a map.
+	idx   pkt.NodeIndex
+	order []*Station
+	// indexed marks the neighbor lists as built; AddNode clears it and
+	// the next transmission rebuilds (see index.go).
+	indexed bool
+	scratch []int32 // candidate buffer reused across index builds
+	// Arenas backing every station's neighbor lists (sub-sliced by
+	// buildIndex); pointer-free, so invisible to the garbage collector.
+	linkArena []link
+	slotArena []int32
+	csArena   []int32
+	// Dense per-slot event state: the number of in-flight transmissions
+	// each station senses, whether it is itself transmitting, and the
+	// reception it is locked onto (rx[slot].tx == nil when idle). For
+	// realistic topologies all three fit in L1/L2, so the neighbor walks
+	// touch no scattered heap objects.
+	sensed []int32
+	busyTx []bool
+	rx     []reception
 	loss   map[linkKey]float64 // per directed link erasure probability
 	down   map[linkKey]bool    // severed directed links (dynamics overrides)
 	flight []*transmission
 	pool   *pkt.Pool       // packet/frame pool shared by the whole stack
 	freeTx []*transmission // recycled transmissions
-	freeRx []*reception    // recycled receptions
 
 	// Stats counts channel-level events for tests and experiments.
 	Stats ChannelStats
@@ -166,12 +197,11 @@ type linkKey struct{ a, b pkt.NodeID }
 // NewChannel creates an empty channel over the given engine.
 func NewChannel(eng *sim.Engine, cfg Config) *Channel {
 	return &Channel{
-		cfg:   cfg,
-		eng:   eng,
-		nodes: make(map[pkt.NodeID]*node),
-		loss:  make(map[linkKey]float64),
-		down:  make(map[linkKey]bool),
-		pool:  pkt.NewPool(),
+		cfg:  cfg,
+		eng:  eng,
+		loss: make(map[linkKey]float64),
+		down: make(map[linkKey]bool),
+		pool: pkt.NewPool(),
 	}
 }
 
@@ -196,36 +226,29 @@ func (c *Channel) getTx() *transmission {
 	return tx
 }
 
-// getRx recycles (or allocates) a reception.
-func (c *Channel) getRx() *reception {
-	if n := len(c.freeRx); n > 0 {
-		rx := c.freeRx[n-1]
-		c.freeRx[n-1] = nil
-		c.freeRx = c.freeRx[:n-1]
-		*rx = reception{}
-		return rx
-	}
-	return &reception{}
-}
-
-// AddNode registers a station at pos with its MAC-layer radio. Adding the
-// same id twice panics: topologies are static for the lifetime of a run.
-func (c *Channel) AddNode(id pkt.NodeID, pos Position, r Radio) {
-	if _, dup := c.nodes[id]; dup {
+// AddNode registers a station at pos with its MAC-layer radio and returns
+// its handle for TransmitFrom. Adding the same id twice panics:
+// topologies are static for the lifetime of a run. Registering a station
+// invalidates the neighbor index; the next transmission rebuilds it.
+func (c *Channel) AddNode(id pkt.NodeID, pos Position, r Radio) *Station {
+	at, ok := c.idx.Add(id)
+	if !ok {
 		panic(fmt.Sprintf("phy: duplicate node %v", id))
 	}
-	n := &node{id: id, pos: pos, radio: r}
-	c.nodes[id] = n
-	at := sort.Search(len(c.order), func(i int) bool { return c.order[i].id > id })
+	st := &Station{id: id, pos: pos, radio: r, slot: -1}
 	c.order = append(c.order, nil)
 	copy(c.order[at+1:], c.order[at:])
-	c.order[at] = n
+	c.order[at] = st
+	c.indexed = false
+	return st
 }
 
 // SetRadio rebinds the radio of an existing node (used by the MAC package
-// which creates the PHY entry before its own state).
+// which creates the PHY entry before its own state). Neighbor-list
+// records reference the station, not the radio, so no invalidation is
+// needed.
 func (c *Channel) SetRadio(id pkt.NodeID, r Radio) {
-	n := c.nodes[id]
+	n := c.station(id)
 	if n == nil {
 		panic(fmt.Sprintf("phy: SetRadio for unknown node %v", id))
 	}
@@ -234,11 +257,16 @@ func (c *Channel) SetRadio(id pkt.NodeID, r Radio) {
 
 // SetLinkLoss sets the erasure probability for the directed link a->b.
 // It models the residual frame error rate of a degraded real-world link.
+// The cached neighbor record, if built, is patched in place so the next
+// delivery over a->b sees the new probability.
 func (c *Channel) SetLinkLoss(a, b pkt.NodeID, p float64) {
 	if p < 0 || p > 1 {
 		panic("phy: loss probability out of range")
 	}
 	c.loss[linkKey{a, b}] = p
+	if lk := c.cachedLink(a, b); lk != nil {
+		lk.loss = p
+	}
 }
 
 // LinkLoss reports the configured erasure probability for a->b.
@@ -250,30 +278,34 @@ func (c *Channel) LinkLoss(a, b pkt.NodeID) float64 { return c.loss[linkKey{a, b
 // because the energy still occupies the medium. A downed link therefore
 // models a deep fade or obstruction at the receiver; powering a whole
 // station off is mac.SetDown's job. The check consumes no randomness, so
-// toggling a link perturbs no other node's event stream.
+// toggling a link perturbs no other node's event stream. The cached
+// neighbor record, if built, is patched in place.
 func (c *Channel) SetLinkDown(a, b pkt.NodeID, down bool) {
 	if down {
 		c.down[linkKey{a, b}] = true
-		return
+	} else {
+		delete(c.down, linkKey{a, b})
 	}
-	delete(c.down, linkKey{a, b})
+	if lk := c.cachedLink(a, b); lk != nil {
+		lk.down = down
+	}
 }
 
 // LinkDown reports whether the directed link a->b is currently severed.
 func (c *Channel) LinkDown(a, b pkt.NodeID) bool { return c.down[linkKey{a, b}] }
 
 // Position reports a node's position.
-func (c *Channel) Position(id pkt.NodeID) Position { return c.nodes[id].pos }
+func (c *Channel) Position(id pkt.NodeID) Position { return c.station(id).pos }
 
 // InTxRange reports whether b can decode a's transmissions.
 func (c *Channel) InTxRange(a, b pkt.NodeID) bool {
-	na, nb := c.nodes[a], c.nodes[b]
+	na, nb := c.station(a), c.station(b)
 	return na.pos.Dist(nb.pos) <= c.cfg.TxRange
 }
 
 // InCSRange reports whether b senses a's transmissions.
 func (c *Channel) InCSRange(a, b pkt.NodeID) bool {
-	na, nb := c.nodes[a], c.nodes[b]
+	na, nb := c.station(a), c.station(b)
 	return na.pos.Dist(nb.pos) <= c.cfg.CSRange
 }
 
@@ -281,32 +313,50 @@ func (c *Channel) InCSRange(a, b pkt.NodeID) bool {
 // a neighbour within carrier-sense range is transmitting or because the node
 // itself is.
 func (c *Channel) Busy(id pkt.NodeID) bool {
-	n := c.nodes[id]
-	return n.sensed > 0 || n.busyTx
+	if !c.indexed {
+		c.buildIndex()
+	}
+	n := c.station(id)
+	return c.sensed[n.slot] > 0 || c.busyTx[n.slot]
 }
 
 // AirTime exposes the frame air time for the channel's bit rate.
 func (c *Channel) AirTime(bytes int) sim.Time { return c.cfg.AirTime(bytes) }
 
-// Transmit puts a frame on the air from src. The caller (MAC) is responsible
-// for having respected CSMA rules; the channel faithfully models the
-// consequences either way (collisions at receivers). The returned time is
-// when the transmission ends.
+// Transmit puts a frame on the air from src, resolving the station by
+// id. Callers on the per-frame path hold the *Station from AddNode and
+// use TransmitFrom directly.
 func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
-	sn := c.nodes[src]
+	sn := c.station(src)
 	if sn == nil {
 		panic(fmt.Sprintf("phy: transmit from unknown node %v", src))
 	}
-	if sn.busyTx {
-		panic(fmt.Sprintf("phy: node %v already transmitting", src))
+	return c.TransmitFrom(sn, f)
+}
+
+// TransmitFrom puts a frame on the air from the given station. The caller
+// (MAC) is responsible for having respected CSMA rules; the channel
+// faithfully models the consequences either way (collisions at
+// receivers). The returned time is when the transmission ends.
+//
+// This is the PHY hot path: it walks only the transmitter's neighbor
+// list (every station beyond interference range is provably unaffected)
+// and does no distance/path-loss math and no map lookups per event.
+func (c *Channel) TransmitFrom(sn *Station, f *pkt.Frame) sim.Time {
+	if !c.indexed {
+		c.buildIndex()
+	}
+	if c.busyTx[sn.slot] {
+		panic(fmt.Sprintf("phy: node %v already transmitting", sn.id))
 	}
 	now := c.eng.Now()
 	dur := c.AirTime(f.Bytes())
 	tx := c.getTx()
-	tx.src, tx.frame, tx.start, tx.end = src, f, now, now+dur
+	tx.srcn, tx.frame, tx.start, tx.end = sn, f, now, now+dur
+	tx.flightIdx = len(c.flight)
 	c.flight = append(c.flight, tx)
 	c.Stats.Transmissions++
-	sn.busyTx = true
+	c.busyTx[sn.slot] = true
 	// The channel holds its own reference to a data frame's payload for
 	// the duration of the flight: the transmitter may drop the packet
 	// mid-air (retry limit, a halted node flushing its queues) and the
@@ -315,45 +365,53 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 		f.Payload.Retain()
 	}
 
-	// Raise carrier sense at every node in CS range; lock idle receivers
-	// onto the new frame; apply capture at already-locked receivers.
-	for _, n := range c.order {
-		if n.id == src {
-			continue
-		}
-		d := sn.pos.Dist(n.pos)
-		p := c.cfg.power(d)
-		if d <= c.cfg.CSRange {
-			n.sensed++
-			if n.sensed == 1 && !n.busyTx && n.radio != nil {
-				n.radio.CarrierBusy(true)
+	// Raise carrier sense at every neighbor in CS range; lock idle
+	// receivers onto the new frame; apply capture at already-locked
+	// receivers. Neighbor lists ascend by slot (= id), preserving the
+	// deterministic iteration order of the old all-stations loop.
+	cr := c.cfg.CaptureRatio
+	nbrs := sn.nbrs
+	for i := range nbrs {
+		lk := &nbrs[i]
+		slot := lk.slot
+		if lk.inCS {
+			c.sensed[slot]++
+			if c.sensed[slot] == 1 && !c.busyTx[slot] {
+				if r := c.order[slot].radio; r != nil {
+					r.CarrierBusy(true)
+				}
 			}
 		}
 		switch {
-		case n.busyTx:
+		case c.busyTx[slot]:
 			// Half-duplex: a transmitting node ignores arrivals.
-		case n.rx != nil:
+		case c.rx[slot].tx != nil:
 			// Locked on another frame: the new energy is interference.
 			// The locked frame survives only if it is CaptureRatio
 			// stronger (ns-2 capture); the receiver never re-locks.
-			if n.rx.signal < c.cfg.CaptureRatio*p {
-				if !n.rx.corrupted && n.rx.decodable {
+			rx := &c.rx[slot]
+			if rx.signal < cr*lk.power {
+				if !rx.corrupted && rx.decodable {
 					c.Stats.Collisions++
 				}
-				n.rx.corrupted = true
+				rx.corrupted = true
 			}
-		case d <= c.cfg.CSRange:
+		case lk.inCS:
 			// Idle receiver locks onto the first frame it senses, even
 			// one too weak to decode (noise lock). Energy already in
 			// flight from other transmitters counts as interference.
-			rx := c.getRx()
-			rx.tx, rx.signal, rx.decodable = tx, p, d <= c.cfg.TxRange
+			rx := &c.rx[slot]
+			*rx = reception{tx: tx, signal: lk.power, decodable: lk.inTx}
+			nst := c.order[slot]
 			for _, other := range c.flight {
 				if other == tx {
 					continue
 				}
-				op := c.cfg.power(c.nodes[other.src].pos.Dist(n.pos))
-				if rx.signal < c.cfg.CaptureRatio*op {
+				olk := nst.neighbor(other.srcn.slot)
+				if olk == nil {
+					continue // beyond interference range: cannot corrupt
+				}
+				if rx.signal < cr*olk.power {
 					rx.corrupted = true
 					if rx.decodable {
 						c.Stats.Collisions++
@@ -361,7 +419,6 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 					break
 				}
 			}
-			n.rx = rx
 		}
 	}
 
@@ -370,67 +427,77 @@ func (c *Channel) Transmit(src pkt.NodeID, f *pkt.Frame) sim.Time {
 }
 
 // finish completes a transmission: lowers carrier sense, resolves frame
-// delivery at every receiver that had locked onto it.
+// delivery at every receiver that had locked onto it. Like TransmitFrom
+// it walks only the transmitter's neighbor list — a receiver can only
+// have locked within CS range — and reads the severed flag and erasure
+// probability from the cached link record instead of the maps.
 func (c *Channel) finish(tx *transmission) {
-	sn := c.nodes[tx.src]
-	sn.busyTx = false
+	sn := tx.srcn
+	c.busyTx[sn.slot] = false
 
-	for _, n := range c.order {
-		if n.id == tx.src {
-			continue
-		}
-		d := sn.pos.Dist(n.pos)
-		if d <= c.cfg.CSRange {
-			n.sensed--
-			if n.sensed == 0 && !n.busyTx && n.radio != nil {
-				n.radio.CarrierBusy(false)
+	// Only carrier-sense-range neighbors can owe a sensed decrement, and
+	// only they can have locked onto this frame, so the walk covers the
+	// csNbrs subsequence (ascending slot order, like the full list).
+	nbrs := sn.nbrs
+	for _, k := range sn.csNbrs {
+		lk := &nbrs[k]
+		slot := lk.slot
+		c.sensed[slot]--
+		if c.sensed[slot] == 0 && !c.busyTx[slot] {
+			if r := c.order[slot].radio; r != nil {
+				r.CarrierBusy(false)
 			}
 		}
-		if n.rx != nil && n.rx.tx == tx {
-			rx := n.rx
-			n.rx = nil
+		if rx := &c.rx[slot]; rx.tx == tx {
+			rx.tx = nil
 			corrupted, decodable := rx.corrupted, rx.decodable
-			c.freeRx = append(c.freeRx, rx)
 			if corrupted || !decodable {
-				if corrupted && decodable && n.radio != nil {
-					n.radio.ReceiveError()
+				if corrupted && decodable {
+					if r := c.order[slot].radio; r != nil {
+						r.ReceiveError()
+					}
 				}
 				continue
 			}
 			// A severed link erases deterministically (before the loss
 			// draw, so it leaves the RNG stream untouched).
-			if c.down[linkKey{tx.src, n.id}] {
+			if lk.down {
 				c.Stats.Erasures++
 				continue
 			}
 			// Apply per-link erasures (testbed link quality model).
-			if p := c.loss[linkKey{tx.src, n.id}]; p > 0 && c.eng.Chance(p) {
+			if p := lk.loss; p > 0 && c.eng.Chance(p) {
 				c.Stats.Erasures++
 				continue
 			}
-			c.deliver(n, tx.frame)
+			c.deliver(c.order[slot], tx.frame)
 		}
 	}
 
-	// Drop tx from the in-flight list, then recycle the frame and the
-	// transmission: every receiver has been served synchronously above, so
-	// nothing references either beyond this point. The flight's payload
-	// reference (taken in Transmit) is dropped with it.
-	for i, t := range c.flight {
-		if t == tx {
-			c.flight = append(c.flight[:i], c.flight[i+1:]...)
-			break
-		}
+	// Swap-remove tx from the in-flight list (order is irrelevant: the
+	// interference scan over flights is order-independent), then recycle
+	// the frame and the transmission: every receiver has been served
+	// synchronously above, so nothing references either beyond this
+	// point. The flight's payload reference (taken in TransmitFrom) is
+	// dropped with it.
+	last := len(c.flight) - 1
+	if i := tx.flightIdx; i != last {
+		moved := c.flight[last]
+		c.flight[i] = moved
+		moved.flightIdx = i
 	}
+	c.flight[last] = nil
+	c.flight = c.flight[:last]
 	if p := tx.frame.Payload; p != nil {
 		p.Release()
 	}
 	c.pool.PutFrame(tx.frame)
 	tx.frame = nil
+	tx.srcn = nil
 	c.freeTx = append(c.freeTx, tx)
 }
 
-func (c *Channel) deliver(n *node, f *pkt.Frame) {
+func (c *Channel) deliver(n *Station, f *pkt.Frame) {
 	c.Stats.Decoded++
 	if n.radio == nil {
 		return
@@ -443,9 +510,5 @@ func (c *Channel) deliver(n *node, f *pkt.Frame) {
 
 // NodeIDs returns all registered node ids in ascending order.
 func (c *Channel) NodeIDs() []pkt.NodeID {
-	ids := make([]pkt.NodeID, 0, len(c.nodes))
-	for _, n := range c.order {
-		ids = append(ids, n.id)
-	}
-	return ids
+	return append([]pkt.NodeID(nil), c.idx.IDs()...)
 }

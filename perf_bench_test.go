@@ -11,6 +11,7 @@
 package ezflow_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ezflow"
@@ -50,4 +51,74 @@ func BenchmarkChainRun80211(b *testing.B) {
 		last = chainRun(int64(i+1), ezflow.Mode80211)
 	}
 	b.ReportMetric(last.Flows[1].MeanThroughputKbps, "kbps")
+}
+
+// largeTopoDuration is the simulated horizon of the large-topology
+// benchmarks: long enough that steady-state forwarding dominates the
+// topology build, short enough to iterate.
+const largeTopoDuration = 5 * ezflow.Second
+
+// gridRun executes one w×h lattice scenario with its default
+// gateway-bound flows. The seed is fixed so every iteration performs
+// identical work.
+func gridRun(w, h int) *ezflow.Result {
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Duration = largeTopoDuration
+	cfg.Bin = ezflow.Second // bins must fit the short horizon
+	cfg.Mode = ezflow.ModeEZFlow
+	return ezflow.NewGrid(w, h, cfg).Run()
+}
+
+// diskRun executes one n-node random-disk scenario at the default
+// (constant-density) radius with its default gateway-bound flow.
+func diskRun(n int) *ezflow.Result {
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Duration = largeTopoDuration
+	cfg.Bin = ezflow.Second // bins must fit the short horizon
+	cfg.Mode = ezflow.ModeEZFlow
+	return ezflow.NewRandom(n, 0, cfg).Run()
+}
+
+// BenchmarkGrid100Run measures a 100-node (10×10) lattice run — the
+// large-scenario axis the PHY neighbor index exists for. Most of the 100
+// stations only carrier-sense the two routed flows, so per-transmission
+// cost is dominated by how many nodes each broadcast event touches.
+func BenchmarkGrid100Run(b *testing.B) {
+	b.ReportAllocs()
+	var last *ezflow.Result
+	for i := 0; i < b.N; i++ {
+		last = gridRun(10, 10)
+	}
+	b.ReportMetric(last.AggKbps, "kbps")
+}
+
+// BenchmarkRandomDisk200Run measures a 200-node random-disk run: the
+// headline large-topology number (ISSUE 4 demands ≥10× over the O(N)
+// per-transmission implementation).
+func BenchmarkRandomDisk200Run(b *testing.B) {
+	b.ReportAllocs()
+	var last *ezflow.Result
+	for i := 0; i < b.N; i++ {
+		last = diskRun(200)
+	}
+	b.ReportMetric(last.AggKbps, "kbps")
+}
+
+// BenchmarkDiskScaling sweeps the node count at constant spatial density.
+// With the neighbor-indexed PHY the per-event cost is O(degree), so ns/op
+// should grow roughly linearly with n (event count) rather than
+// quadratically (event count × per-event node walk).
+func BenchmarkDiskScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var last *ezflow.Result
+			for i := 0; i < b.N; i++ {
+				last = diskRun(n)
+			}
+			b.ReportMetric(last.AggKbps, "kbps")
+		})
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ezflow"
+	"ezflow/internal/dynamics"
 )
 
 // TestPacketPoolParallelScenarios runs the same pooled scenario on many
@@ -46,6 +47,57 @@ func TestPacketPoolParallelScenarios(t *testing.T) {
 		if want := serial[i%2]; g != want {
 			t.Errorf("worker %d (seed %d): got %v, want %v — pooling broke run isolation",
 				i, 1+i%2, g, want)
+		}
+	}
+}
+
+// TestNeighborIndexParallelScenarios runs random-disk scenarios with an
+// active dynamics script (link flap with reroute, node churn with queue
+// drop) on many goroutines at once. The PHY neighbor index, its backing
+// arenas, and the pooled transmission/reception structures are all
+// engine-local; under -race this proves concurrent scenarios share none
+// of them, and the fingerprint comparison proves index reuse across
+// dynamics mutations does not leak between runs.
+func TestNeighborIndexParallelScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	run := func(seed int64) [2]float64 {
+		cfg := ezflow.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Duration = 12 * ezflow.Second
+		cfg.Bin = ezflow.Second
+		cfg.Mode = ezflow.ModeEZFlow
+		sc := ezflow.NewRandom(24, 0, cfg)
+		var script dynamics.Script
+		a, b := dynamics.MiddleLink(sc.Mesh, 1)
+		script.Events = append(script.Events, dynamics.Flap(a, b, 4*ezflow.Second, 7*ezflow.Second, true)...)
+		script.Events = append(script.Events, dynamics.Churn(dynamics.MiddleRelay(sc.Mesh, 1), 5*ezflow.Second, 8*ezflow.Second, true, true)...)
+		if err := sc.AddDynamics(&script); err != nil {
+			t.Error(err)
+			return [2]float64{}
+		}
+		res := sc.Run()
+		return [2]float64{res.Flows[1].MeanThroughputKbps, float64(res.Flows[1].Delivered)}
+	}
+
+	const workers = 8
+	got := make([][2]float64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = run(int64(3 + i%2))
+		}(i)
+	}
+	wg.Wait()
+
+	serial := [2][2]float64{run(3), run(4)}
+	for i, g := range got {
+		if want := serial[i%2]; g != want {
+			t.Errorf("worker %d (seed %d): got %v, want %v — neighbor index broke run isolation",
+				i, 3+i%2, g, want)
 		}
 	}
 }

@@ -10,11 +10,17 @@
 // zero-alloc baseline is pinned exactly: any allocation at all fails,
 // which is what guards the simulator's hot path.
 //
+// With -compare old.json new.json it instead prints a speedup table
+// between two archived runs — ns/op and allocs/op side by side with the
+// improvement factor — which is what PR descriptions and the CI bench
+// job summary embed.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... | go run ./tools/benchjson
 //	go run ./tools/benchjson -baseline BENCH_PR2.json -tolerance 0.25 \
 //	    < bench.out > BENCH_PR3.json
+//	go run ./tools/benchjson -compare BENCH_PR3.json BENCH_PR4.json
 package main
 
 import (
@@ -48,7 +54,27 @@ var gatedMetrics = []string{"ns/op", "allocs/op"}
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = convert only)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression per gated metric")
+	compareMode := flag.Bool("compare", false, "compare two archived JSON documents (args: old.json new.json) and print a speedup table")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadOutput(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		cur, err := loadOutput(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		printSpeedups(os.Stdout, flag.Arg(0), flag.Arg(1), old, cur)
+		return
+	}
 
 	out := parseBench(os.Stdin)
 	enc := json.NewEncoder(os.Stdout)
@@ -61,14 +87,9 @@ func main() {
 		return
 	}
 
-	data, err := os.ReadFile(*baseline)
+	base, err := loadOutput(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	var base Output
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
 		os.Exit(1)
 	}
 	regressions := compare(base, out, *tolerance)
@@ -82,6 +103,61 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% vs %s (%d benchmarks gated)\n",
 		*tolerance*100, *baseline, len(base.Benchmarks))
+}
+
+// loadOutput reads and parses an archived benchmark JSON document.
+func loadOutput(path string) (Output, error) {
+	var out Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return out, nil
+}
+
+// printSpeedups renders the -compare table: every benchmark present in
+// both documents with its old/new ns/op and allocs/op and the speedup
+// factor (old/new; >1 is an improvement). Benchmarks present on only one
+// side are listed below the table so a comparison never hides a missing
+// guarantee.
+func printSpeedups(w *os.File, oldName, newName string, old, cur Output) {
+	byName := map[string]Result{}
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-34s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	var onlyOld, onlyNew []string
+	seen := map[string]bool{}
+	for _, b := range old.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			onlyOld = append(onlyOld, b.Name)
+			continue
+		}
+		seen[b.Name] = true
+		oldNS, newNS := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		speed := "n/a"
+		if oldNS > 0 && newNS > 0 {
+			speed = fmt.Sprintf("%.2fx", oldNS/newNS)
+		}
+		fmt.Fprintf(w, "%-34s %14.1f %14.1f %8s %12.0f %12.0f\n",
+			b.Name, oldNS, newNS, speed, b.Metrics["allocs/op"], c.Metrics["allocs/op"])
+	}
+	for _, c := range cur.Benchmarks {
+		if !seen[c.Name] {
+			onlyNew = append(onlyNew, c.Name)
+		}
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "%-34s only in %s\n", n, oldName)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "%-34s only in %s (new)\n", n, newName)
+	}
 }
 
 // parseBench reads `go test -bench` text into an Output.
