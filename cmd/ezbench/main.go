@@ -3,8 +3,9 @@
 // Figure 4 + Table 2, Scenario 1 (Figures 6-8), Scenario 2 (Figures 10-11 +
 // Table 3), and the §6 Theorem 1 random-walk analysis — plus the
 // extension experiments (hopsweep, tree, rtscts, bidir, the
-// fault-injection stability experiment, and the large-topology scale
-// sweep; see docs/PAPER_MAP.md).
+// fault-injection stability experiment, the large-topology scale sweep,
+// and the congestion-controller head-to-head `-exp controllers`; see
+// docs/PAPER_MAP.md).
 //
 // Usage:
 //
@@ -24,9 +25,20 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/exp"
 )
+
+// experimentNames renders the registered experiment list for the -exp
+// usage string, so help text can never drift from the table above.
+func experimentNames() string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return strings.Join(names, ",")
+}
 
 var experiments = []struct {
 	name string
@@ -44,6 +56,7 @@ var experiments = []struct {
 	{"bidir", func(o exp.Options) *exp.Report { return &exp.Bidirectional(o).Report }},
 	{"stability", func(o exp.Options) *exp.Report { return &exp.Stability(o).Report }},
 	{"scale", func(o exp.Options) *exp.Report { return &exp.Scale(o).Report }},
+	{"controllers", func(o exp.Options) *exp.Report { return &exp.Controllers(o).Report }},
 }
 
 // aliases lets users name experiments by the figure/table they regenerate.
@@ -57,7 +70,7 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "random seed")
 		scale      = flag.Float64("scale", 0.25, "duration scale (1 = paper durations)")
-		which      = flag.String("exp", "", "comma-separated subset (fig1,table1,fig4,scenario1,scenario2,theorem1,hopsweep,tree,rtscts,bidir,stability,scale or figure/table aliases)")
+		which      = flag.String("exp", "", "comma-separated subset ("+experimentNames()+" or figure/table aliases); controllers runs the congestion-controller head-to-head over the registry ("+strings.Join(ezflow.Controllers(), "|")+")")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU pprof profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation pprof profile (after the run) to this file")

@@ -11,10 +11,18 @@
 //	ezsim -topology random -nodes 12 -radius 500 -seed 3
 //	ezsim -scenario linkfailure.json
 //	ezsim -scenario linkfailure.json -mode 802.11 -seed 7
+//	ezsim -topology chain -hops 4 -controller backpressure
 //
 // Topologies: chain (with -hops), testbed, scenario1, scenario2, tree,
 // grid (with -grid-w/-grid-h), random (with -nodes/-radius; placement is
 // seeded by -seed). Modes: 802.11, ezflow, penalty, diffq.
+//
+// -controller selects any congestion controller registered in
+// internal/ctl by name, overriding -mode; `ezsim -h` enumerates the
+// registry. The four head-to-head families are ezflow (passive,
+// message-free), backpressure (piggybacked queue differentials), feedback
+// (explicit rate-feedback control frames), and staticcap (fixed per-hop
+// window).
 //
 // -scenario runs a declarative JSON scenario file instead — topology,
 // flows, and a dynamics timeline of timed perturbations (link flaps, node
@@ -29,9 +37,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"ezflow"
 	"ezflow/internal/buildinfo"
+	"ezflow/internal/ctl"
 	"ezflow/internal/plot"
 	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
@@ -48,6 +58,7 @@ func main() {
 		nodes    = flag.Int("nodes", 12, "node count for -topology random")
 		radius   = flag.Float64("radius", 0, "disk radius in metres for -topology random (0 = auto)")
 		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
+		ctlName  = flag.String("controller", "", "congestion controller from the registry, overriding -mode: "+strings.Join(ezflow.Controllers(), "|")+" (or 802.11 for none); registered controllers:\n"+ezflow.ControllerUsage())
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		rate     = flag.Float64("rate", 2e6, "per-flow CBR rate in bit/s")
@@ -63,10 +74,14 @@ func main() {
 		return
 	}
 
+	if err := validateController(*ctlName); err != nil {
+		fatalf("%v", err)
+	}
+
 	if *scenFile != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runScenarioFile(*scenFile, set, *mode, *seed, *duration, *cap, *traceDir, *doPlot)
+		runScenarioFile(*scenFile, set, *mode, *ctlName, *seed, *duration, *cap, *traceDir, *doPlot)
 		return
 	}
 
@@ -86,6 +101,13 @@ func main() {
 		cfg.Mode = ezflow.ModeDiffQ
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+	if *ctlName != "" {
+		if ctl.IsNone(*ctlName) {
+			cfg.Mode = ezflow.Mode80211
+		} else {
+			cfg.Controller = *ctlName
+		}
 	}
 
 	var sc *ezflow.Scenario
@@ -144,10 +166,22 @@ func main() {
 	}
 }
 
+// validateController rejects controller names absent from the registry
+// (the 802.11/off spellings, ctl.IsNone, select no controller at all).
+func validateController(name string) error {
+	if ctl.IsNone(name) {
+		return nil
+	}
+	if _, ok := ctl.ByName(name); ok {
+		return nil
+	}
+	return fmt.Errorf("unknown controller %q (registered: %s)", name, strings.Join(ezflow.Controllers(), ", "))
+}
+
 // runScenarioFile executes a declarative scenario file, letting -mode,
-// -seed, -duration and -cap override the file when passed explicitly
-// (set holds the names of flags present on the command line).
-func runScenarioFile(path string, set map[string]bool, mode string, seed int64,
+// -controller, -seed, -duration and -cap override the file when passed
+// explicitly (set holds the names of flags present on the command line).
+func runScenarioFile(path string, set map[string]bool, mode, ctlName string, seed int64,
 	durationSec float64, cwCap int, traceDir string, doPlot bool) {
 	spec, err := scenario.Load(path)
 	if err != nil {
@@ -155,6 +189,14 @@ func runScenarioFile(path string, set map[string]bool, mode string, seed int64,
 	}
 	if set["mode"] {
 		spec.Mode = mode
+		spec.Controller = ""
+	}
+	if set["controller"] {
+		spec.Mode = ""
+		spec.Controller = ctlName
+		if ctl.IsNone(ctlName) {
+			spec.Controller = "" // plain 802.11: no controller at all
+		}
 	}
 	if set["seed"] {
 		spec.Seed = seed
@@ -189,8 +231,13 @@ func runScenarioFile(path string, set map[string]bool, mode string, seed int64,
 }
 
 func printSummary(res *ezflow.Result) {
-	fmt.Printf("mode=%v duration=%v seed=%d\n", res.Cfg.Mode,
-		res.Cfg.Duration, res.Cfg.Seed)
+	if res.Cfg.Controller != "" {
+		fmt.Printf("controller=%s duration=%v seed=%d\n", res.Cfg.Controller,
+			res.Cfg.Duration, res.Cfg.Seed)
+	} else {
+		fmt.Printf("mode=%v duration=%v seed=%d\n", res.Cfg.Mode,
+			res.Cfg.Duration, res.Cfg.Seed)
+	}
 	var flows []ezflow.FlowID
 	for f := range res.Flows {
 		flows = append(flows, f)

@@ -34,8 +34,10 @@ package ezflow
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ezflow/internal/baseline"
+	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
 	ez "ezflow/internal/ezflow"
 	"ezflow/internal/mac"
@@ -100,11 +102,51 @@ func (m Mode) String() string {
 	}
 }
 
+// ControllerName maps the legacy mode to its controller-registry name
+// (empty for plain 802.11, which deploys no controller). The Mode values
+// are kept as thin wrappers over the registry: setting cfg.Mode without
+// cfg.Controller deploys exactly the controller this reports.
+func (m Mode) ControllerName() string {
+	switch m {
+	case ModeEZFlow:
+		return "ezflow"
+	case ModePenalty:
+		return "penalty"
+	case ModeDiffQ:
+		return "diffq"
+	default:
+		return ""
+	}
+}
+
+// Controllers returns the names of every registered congestion
+// controller, sorted — the values Config.Controller, scenario files, the
+// campaign "controller" axis and the ezsim -controller flag accept. CLI
+// usage strings enumerate this instead of hand-maintained lists.
+func Controllers() []string { return ctl.Names() }
+
+// ControllerUsage renders one "name — summary" line per registered
+// controller for CLI help text.
+func ControllerUsage() string { return ctl.Usage() }
+
 // Config parameterises a scenario run.
 type Config struct {
 	Seed     int64
 	Duration Time
 	Mode     Mode
+
+	// Controller selects a congestion controller from the internal/ctl
+	// registry by name (see Controllers()), overriding Mode's controller
+	// when non-empty. Empty derives the controller from Mode, so existing
+	// Mode-based configurations behave exactly as before. Unknown names
+	// panic at scenario wiring — the CLI and scenario layers validate
+	// before building.
+	Controller string
+	// Ctl tunes the registry controllers (backpressure/feedback/staticcap
+	// parameters). Zero values select each family's defaults; the EZ and
+	// penalty fields are overridden by the top-level EZ/PenaltyQ/
+	// PenaltyRelayCW settings below, which remain the source of truth.
+	Ctl ctl.Options
 
 	// PHY/MAC parameters; zero values select the paper's defaults
 	// (802.11b at 1 Mb/s, 250/550 m ranges, CWmin 32, 50-packet queues).
@@ -177,9 +219,13 @@ type Scenario struct {
 	// QueueTraces samples each relay's forwarded-traffic backlog,
 	// batching samples through preallocated rings.
 	QueueTraces map[NodeID]*trace.Recorder
-	// Deployment is non-nil in ModeEZFlow.
+	// Ctl is the deployed congestion controller, non-nil whenever the
+	// scenario runs one (any mode or controller name except plain 802.11).
+	Ctl ctl.Instance
+	// Deployment is non-nil when the ezflow controller is deployed
+	// (ModeEZFlow or Controller "ezflow").
 	Deployment *ez.Deployment
-	// DiffQ is non-nil in ModeDiffQ.
+	// DiffQ is non-nil when the diffq controller is deployed.
 	DiffQ *baseline.DiffQDeployment
 	// Dyn is the perturbation engine, non-nil once a dynamics script is
 	// attached (Config.Dynamics or AddDynamics).
@@ -232,6 +278,26 @@ func fillDefaults(cfg *Config) {
 	if cfg.RecoveryTolerance <= 0 || cfg.RecoveryTolerance >= 1 {
 		cfg.RecoveryTolerance = 0.2
 	}
+}
+
+// controllerName resolves which registry controller the config deploys:
+// the explicit Controller field, or the legacy Mode's wrapper name.
+func (c *Config) controllerName() string {
+	if c.Controller != "" {
+		return c.Controller
+	}
+	return c.Mode.ControllerName()
+}
+
+// ctlOptions assembles the registry options, keeping the top-level EZ and
+// penalty fields authoritative over Config.Ctl's copies.
+func (c *Config) ctlOptions() ctl.Options {
+	opts := c.Ctl
+	opts.EZ = c.EZ
+	opts.Penalty.Q = c.PenaltyQ
+	opts.Penalty.RelayCW = c.PenaltyRelayCW
+	ctl.FillDefaults(&opts)
+	return opts
 }
 
 // NewChain builds a linear K-hop scenario (flow 1 runs end to end).
@@ -365,14 +431,21 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 		sc.Sources[fs.Flow] = src
 	}
 
-	// Controller deployment.
-	switch cfg.Mode {
-	case ModeEZFlow:
-		sc.Deployment = ez.Deploy(m, cfg.EZ)
-	case ModePenalty:
-		baseline.ApplyPenalty(m, cfg.PenaltyQ, cfg.PenaltyRelayCW)
-	case ModeDiffQ:
-		sc.DiffQ = baseline.DeployDiffQ(m)
+	// Controller deployment, resolved through the internal/ctl registry:
+	// Config.Controller wins, the legacy Mode otherwise.
+	if name := cfg.controllerName(); name != "" {
+		info, ok := ctl.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("ezflow: unknown controller %q (registered: %s)",
+				name, strings.Join(ctl.Names(), ", ")))
+		}
+		sc.Ctl = info.Deploy(m, cfg.ctlOptions())
+		if e, ok := sc.Ctl.(ctl.EZInstance); ok {
+			sc.Deployment = e.EZ()
+		}
+		if d, ok := sc.Ctl.(ctl.DiffQInstance); ok {
+			sc.DiffQ = d.DiffQ()
+		}
 	}
 
 	// Queue traces at every node that relays for some flow.
@@ -411,15 +484,12 @@ func (sc *Scenario) AddDynamics(script *dynamics.Script) error {
 	}
 	sc.Dyn = dyn
 	// Route repair creates fresh queues (and can promote fresh relays);
-	// each controller re-asserts itself over them. DiffQ needs no hook —
-	// its per-frame remap already walks every queue.
-	switch {
-	case sc.Deployment != nil:
-		dep, m := sc.Deployment, sc.Mesh
-		dyn.OnReroute = func() { dep.Extend(m) }
-	case sc.Cfg.Mode == ModePenalty:
-		m, q, cw := sc.Mesh, sc.Cfg.PenaltyQ, sc.Cfg.PenaltyRelayCW
-		dyn.OnReroute = func() { baseline.ApplyPenalty(m, q, cw) }
+	// the controller re-asserts itself over them through its instance's
+	// Extend (a no-op for DiffQ, whose per-frame remap already walks every
+	// queue).
+	if sc.Ctl != nil {
+		c, m := sc.Ctl, sc.Mesh
+		dyn.OnReroute = func() { c.Extend(m) }
 	}
 	return nil
 }
@@ -452,8 +522,9 @@ type Result struct {
 	CWTraces map[string][]ez.CWPoint
 	// FinalCW maps "node->succ" -> cw at the end of the run.
 	FinalCW map[string]int
-	// Overhead reports extra control bytes put on the air (0 for
-	// EZ-Flow and plain 802.11; positive for DiffQ).
+	// Overhead reports extra control bytes put on the air: 0 for EZ-Flow
+	// and plain 802.11 (message-free), positive for the explicit-signalling
+	// controllers (diffq, backpressure, feedback).
 	OverheadBytes uint64
 	// Stability carries the fault-recovery metrics; non-nil only when a
 	// dynamics script fired at least one fault event during the run.
@@ -522,8 +593,8 @@ func (sc *Scenario) Run() *Result {
 			res.FinalCW[key] = c.Queue.CWmin()
 		}
 	}
-	if sc.DiffQ != nil {
-		res.OverheadBytes = sc.DiffQ.OverheadBytes
+	if sc.Ctl != nil {
+		res.OverheadBytes = sc.Ctl.OverheadBytes()
 	}
 	if sc.Dyn != nil {
 		res.DynamicsLog = sc.Dyn.Log

@@ -11,6 +11,9 @@
 // describes a parameter sweep (topology × mode × rate × hops × CW cap)
 // with per-point seed replications, runs the whole grid, and emits the
 // outcome through pluggable sinks (human-readable report, JSON, CSV).
+// The controller axis additionally sweeps the congestion-controller
+// registry (internal/ctl), so head-to-head controller comparisons are one
+// sweep away.
 //
 // Determinism: every run's seed is derived purely from (base seed, point
 // label, replication index) by DeriveSeed, and results are collected by
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"ezflow"
+	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
 	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
@@ -73,13 +77,16 @@ func (s Spec) sweeps(name string) bool {
 
 // Axis is one swept parameter. Known names: "topology"
 // (chain|testbed|scenario1|scenario2|tree|grid|random), "mode"
-// (802.11|ezflow|penalty|diffq), "hops" (chain length; also the side of a
-// grid topology, clamped to >= 2), "rate" (bit/s), "cap" (hardware CWmin
-// cap, 0 = none), "nodes" (node count of the random topology, whose
-// placement is seeded per replication), and the fault-injection axes
-// "flap" and "churn" (0|1): flap=1 severs the first flow's middle link
-// for a tenth of the run starting at 40%, churn=1 halts its middle relay
-// over the same window, both with BFS route repair.
+// (802.11|ezflow|penalty|diffq), "controller" (any registered congestion
+// controller — see ctl.Names() — plus 802.11|off|none for the raw
+// baseline; mutually exclusive with the mode axis), "hops" (chain length;
+// also the side of a grid topology, clamped to >= 2), "rate" (bit/s),
+// "cap" (hardware CWmin cap, 0 = none), "nodes" (node count of the random
+// topology, whose placement is seeded per replication), and the
+// fault-injection axes "flap" and "churn" (0|1): flap=1 severs the first
+// flow's middle link for a tenth of the run starting at 40%, churn=1
+// halts its middle relay over the same window, both with BFS route
+// repair.
 type Axis struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values"`
@@ -94,9 +101,9 @@ func ParseSweep(s string) (Axis, error) {
 	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	switch name {
-	case "topology", "mode", "hops", "rate", "cap", "nodes", "flap", "churn":
+	case "topology", "mode", "controller", "hops", "rate", "cap", "nodes", "flap", "churn":
 	default:
-		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|hops|rate|cap|nodes|flap|churn)", name)
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|controller|hops|rate|cap|nodes|flap|churn)", name)
 	}
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
@@ -139,6 +146,9 @@ type Point struct {
 	RateBps  float64     `json:"rate_bps"`
 	CWCap    int         `json:"cw_cap"`
 	Nodes    int         `json:"nodes"`
+	// Controller is the registry controller deployed at this point; empty
+	// derives the control plane from Mode, "802.11" pins the raw baseline.
+	Controller string `json:"controller,omitempty"`
 	// Flap and Churn are the fault-injection axes.
 	Flap  bool `json:"flap,omitempty"`
 	Churn bool `json:"churn,omitempty"`
@@ -162,6 +172,16 @@ func (p *Point) set(axis, value string) error {
 			return err
 		}
 		p.Mode = m
+	case "controller":
+		v := strings.ToLower(value)
+		if ctl.IsNone(v) {
+			p.Controller = "802.11"
+		} else {
+			if _, ok := ctl.ByName(v); !ok {
+				return fmt.Errorf("campaign: unknown controller %q (registered: %s, or 802.11 for none)", value, ctl.NamesList())
+			}
+			p.Controller = v
+		}
 	case "hops":
 		n, err := strconv.Atoi(value)
 		if err != nil || n < 1 {
@@ -229,11 +249,17 @@ func (p Point) makeLabel() string {
 	var b string
 	if p.Scenario != "" {
 		b = fmt.Sprintf("scenario=%s mode=%v", p.Scenario, p.Mode)
+		if p.Controller != "" {
+			b = fmt.Sprintf("scenario=%s ctl=%s", p.Scenario, p.Controller)
+		}
 		if p.RateBps > 0 { // only set when the rate axis is swept
 			b += fmt.Sprintf(" rate=%g", p.RateBps)
 		}
 	} else {
 		b = fmt.Sprintf("topology=%s mode=%v", p.Topology, p.Mode)
+		if p.Controller != "" {
+			b = fmt.Sprintf("topology=%s ctl=%s", p.Topology, p.Controller)
+		}
 		switch p.Topology {
 		case "chain":
 			b += fmt.Sprintf(" hops=%d", p.Hops)
@@ -264,6 +290,9 @@ func (s Spec) Enumerate() ([]Point, error) {
 	base := Point{Topology: "chain", Mode: ezflow.Mode80211, Hops: 4, RateBps: s.RateBps, Nodes: 12}
 	if base.RateBps <= 0 {
 		base.RateBps = 2e6
+	}
+	if s.sweeps("mode") && s.sweeps("controller") {
+		return nil, fmt.Errorf("campaign: the mode and controller axes are mutually exclusive (controller subsumes mode)")
 	}
 	if s.Scenario != nil {
 		if err := s.Scenario.Validate(); err != nil {
@@ -311,9 +340,12 @@ func (s Spec) Enumerate() ([]Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.Scenario.Controller != "" && s.sweeps("mode") {
+			return nil, fmt.Errorf("campaign: the mode axis conflicts with the scenario file's controller %q (sweep controller instead)", s.Scenario.Controller)
+		}
 		// RateBps 0 marks "rates come from the file" until the rate axis
 		// overrides it.
-		base = Point{Scenario: name, Mode: mode, CWCap: s.Scenario.CWCap}
+		base = Point{Scenario: name, Mode: mode, Controller: s.Scenario.Controller, CWCap: s.Scenario.CWCap}
 	}
 	points := []Point{base}
 	for _, ax := range s.Axes {
@@ -498,6 +530,14 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 	cfg.Duration = ezflow.Time(durSec * float64(ezflow.Second))
 	cfg.Mode = p.Mode
 	cfg.MAC.HardwareCWCap = p.CWCap
+	switch p.Controller {
+	case "":
+		// Mode drives the control plane (the legacy wrappers).
+	case "802.11":
+		cfg.Mode = ezflow.Mode80211 // the raw baseline, pinned explicitly
+	default:
+		cfg.Controller = p.Controller
+	}
 
 	sc := buildScenario(spec, p, cfg)
 	applyAxisFaults(sc, p)

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ezflow"
+)
+
+// controllerSpec sweeps the whole controller registry (plus the raw
+// 802.11 baseline) over a 4-hop chain, statically and under the flap
+// fault, with two replications — the determinism workload of the
+// controller subsystem.
+func controllerSpec() Spec {
+	return Spec{
+		Name: "controller-determinism",
+		Axes: []Axis{
+			{Name: "controller", Values: []string{"802.11", "staticcap", "backpressure", "feedback", "ezflow", "penalty", "diffq"}},
+			{Name: "flap", Values: []string{"0", "1"}},
+		},
+		Reps:        2,
+		BaseSeed:    5,
+		DurationSec: 20,
+	}
+}
+
+// TestControllerCampaignDeterminism pins the controller axis to
+// byte-identical JSON and CSV output for any worker count — every
+// controller family runs concurrently with every other at parallel 4 and
+// 7, so under -race this doubles as the controller-isolation test.
+func TestControllerCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	emit := func(parallel int) (string, string) {
+		eng := Engine{Parallel: parallel}
+		res, err := eng.Run(controllerSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb, cb bytes.Buffer
+		if err := (JSONSink{W: &jb}).Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		if err := (CSVSink{W: &cb}).Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		return jb.String(), cb.String()
+	}
+	wantJSON, wantCSV := emit(1)
+	if !strings.Contains(wantJSON, "ctl=backpressure") {
+		t.Fatalf("labels missing controller fragment:\n%.400s", wantJSON)
+	}
+	for _, parallel := range []int{4, 7} {
+		js, cs := emit(parallel)
+		if js != wantJSON {
+			t.Errorf("parallel=%d: JSON diverges from parallel=1", parallel)
+		}
+		if cs != wantCSV {
+			t.Errorf("parallel=%d: CSV diverges from parallel=1", parallel)
+		}
+	}
+}
+
+// TestControllerAxisValidation covers the strict-validation satellite:
+// unknown controllers fail, and the mode and controller axes are mutually
+// exclusive.
+func TestControllerAxisValidation(t *testing.T) {
+	if _, err := ParseSweep("controller=ezflow,backpressure"); err != nil {
+		t.Errorf("valid controller sweep rejected: %v", err)
+	}
+	ax, err := ParseSweep("controller=bogus")
+	if err != nil {
+		t.Fatalf("ParseSweep rejects values eagerly: %v", err)
+	}
+	s := Spec{Axes: []Axis{ax}}
+	if _, err := s.Enumerate(); err == nil {
+		t.Error("unknown controller enumerated without error")
+	}
+	s = Spec{Axes: []Axis{
+		{Name: "mode", Values: []string{"802.11", "ezflow"}},
+		{Name: "controller", Values: []string{"ezflow"}},
+	}}
+	if _, err := s.Enumerate(); err == nil {
+		t.Error("mode+controller axes enumerated without error")
+	}
+}
+
+// TestControllerPointSemantics checks the 802.11 spelling pins the raw
+// baseline and registry names reach the config.
+func TestControllerPointSemantics(t *testing.T) {
+	var p Point
+	p.Mode = ezflow.ModeEZFlow
+	if err := p.set("controller", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Controller != "802.11" {
+		t.Errorf("off canonicalised to %q, want 802.11", p.Controller)
+	}
+	if err := p.set("controller", "feedback"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Controller != "feedback" {
+		t.Errorf("controller = %q, want feedback", p.Controller)
+	}
+	if err := p.set("controller", "nope"); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}

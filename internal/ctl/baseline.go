@@ -1,0 +1,73 @@
+package ctl
+
+import (
+	"ezflow/internal/baseline"
+	"ezflow/internal/mesh"
+)
+
+// penaltyInstance re-homes the static penalty scheme of [9] onto the
+// registry. Extend re-applies the source/relay windows, which is exactly
+// what the pre-registry reroute hook did after route repair.
+type penaltyInstance struct {
+	cfg PenaltyConfig
+}
+
+func (p *penaltyInstance) Extend(m *mesh.Mesh)   { baseline.ApplyPenalty(m, p.cfg.Q, p.cfg.RelayCW) }
+func (p *penaltyInstance) OverheadBytes() uint64 { return 0 }
+
+// diffqInstance re-homes the DiffQ baseline onto the registry. Its
+// per-frame remap already walks every queue, so Extend after deployment is
+// a no-op — matching the pre-registry behaviour, which installed no
+// reroute hook for DiffQ.
+type diffqInstance struct {
+	dep      *baseline.DiffQDeployment
+	deployed bool
+}
+
+func (d *diffqInstance) Extend(m *mesh.Mesh) {
+	if d.deployed {
+		return
+	}
+	d.deployed = true
+	d.dep = baseline.DeployDiffQ(m)
+}
+
+func (d *diffqInstance) OverheadBytes() uint64 { return d.dep.OverheadBytes }
+
+// DiffQ exposes the underlying deployment for instrumentation.
+func (d *diffqInstance) DiffQ() *baseline.DiffQDeployment { return d.dep }
+
+// DiffQInstance is implemented by the diffq instance so the scenario layer
+// can keep exporting its deployment.
+type DiffQInstance interface {
+	// DiffQ returns the underlying DiffQ deployment.
+	DiffQ() *baseline.DiffQDeployment
+}
+
+func init() {
+	Register(Info{
+		Name:    "penalty",
+		Summary: "static penalty scheme of [9]: offline topology-tuned source throttling",
+		Deploy: func(m *mesh.Mesh, opts Options) Instance {
+			cfg := opts.Penalty
+			if cfg.Q <= 0 || cfg.Q > 1 {
+				cfg.Q = 1.0 / 128
+			}
+			if cfg.RelayCW <= 0 {
+				cfg.RelayCW = 16
+			}
+			p := &penaltyInstance{cfg: cfg}
+			p.Extend(m)
+			return p
+		},
+	})
+	Register(Info{
+		Name:    "diffq",
+		Summary: "DiffQ-style four-class differential backlog (piggybacked totals)",
+		Deploy: func(m *mesh.Mesh, opts Options) Instance {
+			d := &diffqInstance{}
+			d.Extend(m)
+			return d
+		},
+	})
+}

@@ -1,0 +1,92 @@
+package ctl_test
+
+import (
+	"testing"
+
+	"ezflow"
+	"ezflow/internal/ctl"
+	"ezflow/internal/pkt"
+)
+
+// hotSetup builds a controlled chain scenario and returns the deployment
+// plus a middle relay, leaving the scenario un-run so hooks can be driven
+// directly.
+func hotSetup(b *testing.B, name string) (*ctl.Deployment, *ctl.Relay) {
+	b.Helper()
+	cfg := ezflow.DefaultConfig()
+	cfg.Duration = 5 * ezflow.Second
+	cfg.Controller = name
+	sc := ezflow.NewChain(4, cfg, ezflow.FlowSpec{Flow: 1, RateBps: 2e6})
+	dep := depOf(b, sc.Ctl)
+	if len(dep.Relays) < 2 {
+		b.Fatalf("%s attached %d relays", name, len(dep.Relays))
+	}
+	return dep, dep.Relays[1]
+}
+
+// BenchmarkCtlOnOverhear drives the backpressure controller's overhear
+// path — a stamped data frame from the successor — through the Controller
+// interface. It must not allocate: the bench gate pins allocs/op at zero.
+func BenchmarkCtlOnOverhear(b *testing.B) {
+	dep, r := hotSetup(b, "backpressure")
+	p := pkt.NewPacket(1, 42, r.Node, 99, 1028, 0)
+	f := &pkt.Frame{Type: pkt.FrameData, TxSrc: r.Successor, TxDst: 99, Payload: p, HasBP: true, BPLen: 7}
+	ci := pkt.CaptureInfo{Listener: r.Node, OnAir: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.BPLen = i & 15
+		dep.Ctrl.OnOverhear(r, f, ci)
+	}
+}
+
+// BenchmarkCtlOnDequeue drives the backpressure controller's dequeue
+// retune. Zero allocs/op, pinned by the bench gate.
+func BenchmarkCtlOnDequeue(b *testing.B) {
+	dep, r := hotSetup(b, "backpressure")
+	p := pkt.NewPacket(1, 42, r.Node, 99, 1028, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.Ctrl.OnDequeue(r, p)
+	}
+}
+
+// BenchmarkCtlFeedbackOnOverhear drives the feedback controller's
+// overhear path with a rate-feedback control frame from the successor.
+// Zero allocs/op, pinned by the bench gate.
+func BenchmarkCtlFeedbackOnOverhear(b *testing.B) {
+	dep, r := hotSetup(b, "feedback")
+	p := pkt.NewPacket(ctl.FeedbackFlow, 3<<16|64, r.Successor, r.Node, 16, 0)
+	f := &pkt.Frame{Type: pkt.FrameData, TxSrc: r.Successor, TxDst: r.Node, Payload: p}
+	ci := pkt.CaptureInfo{Listener: r.Node, OnAir: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.Ctrl.OnOverhear(r, f, ci)
+	}
+}
+
+// TestHotHooksDoNotAllocate is the in-suite version of the bench-gate
+// zero-alloc pins, so `go test` alone catches an allocation sneaking into
+// the controller hot path.
+func TestHotHooksDoNotAllocate(t *testing.T) {
+	for _, name := range []string{"backpressure", "feedback", "staticcap"} {
+		cfg := ezflow.DefaultConfig()
+		cfg.Duration = 5 * ezflow.Second
+		cfg.Controller = name
+		sc := ezflow.NewChain(4, cfg, ezflow.FlowSpec{Flow: 1, RateBps: 2e6})
+		dep := depOf(t, sc.Ctl)
+		r := dep.Relays[1]
+		p := pkt.NewPacket(1, 42, r.Node, 99, 1028, 0)
+		f := &pkt.Frame{Type: pkt.FrameData, TxSrc: r.Successor, TxDst: 99, Payload: p, HasBP: true, BPLen: 3}
+		ci := pkt.CaptureInfo{Listener: r.Node, OnAir: true}
+		if n := testing.AllocsPerRun(200, func() {
+			dep.Ctrl.OnOverhear(r, f, ci)
+			dep.Ctrl.OnDequeue(r, p)
+			dep.Ctrl.OnTransmit(r, f)
+		}); n != 0 {
+			t.Errorf("%s: hot hooks allocate %.1f per call, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package ctl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	ez "ezflow/internal/ezflow"
+	"ezflow/internal/mesh"
+)
+
+// Options carries every controller family's tunables. Zero values select
+// the documented defaults (FillDefaults); a scenario passes one Options to
+// whichever controller it deploys, so sweeping controllers never changes
+// anything but the controller.
+type Options struct {
+	// EZ configures the ezflow controller (CAA thresholds, sniff loss).
+	EZ ez.Options
+	// Penalty configures the static penalty baseline of [9].
+	Penalty PenaltyConfig
+	// Static configures the staticcap controller.
+	Static StaticConfig
+	// Backpressure configures the queue-differential controller.
+	Backpressure BackpressureConfig
+	// Feedback configures the explicit rate-feedback controller.
+	Feedback FeedbackConfig
+}
+
+// PenaltyConfig parameterises the penalty controller: sources are
+// throttled to cwRelay/Q while relays use RelayCW.
+type PenaltyConfig struct {
+	// Q is the topology-dependent throttling factor in (0, 1].
+	Q float64
+	// RelayCW is the relay contention window.
+	RelayCW int
+}
+
+// DefaultOptions returns every family's defaults.
+func DefaultOptions() Options {
+	var o Options
+	FillDefaults(&o)
+	return o
+}
+
+// FillDefaults replaces zero values with each family's defaults, leaving
+// caller-set fields alone.
+func FillDefaults(o *Options) {
+	if o.EZ.CAA.Window == 0 {
+		o.EZ.CAA = ez.DefaultCAAConfig()
+	}
+	if o.Penalty.Q <= 0 || o.Penalty.Q > 1 {
+		o.Penalty.Q = 1.0 / 128
+	}
+	if o.Penalty.RelayCW <= 0 {
+		o.Penalty.RelayCW = 16
+	}
+	o.Static.fillDefaults()
+	o.Backpressure.fillDefaults()
+	o.Feedback.fillDefaults()
+}
+
+// Instance is a controller installed over one scenario's mesh.
+type Instance interface {
+	// Extend (re)installs the controller over queues created since the
+	// previous call — deployment calls it once up front, and the dynamics
+	// layer calls it again after every BFS route repair so repair-created
+	// queues come under control.
+	Extend(m *mesh.Mesh)
+	// OverheadBytes reports the control bytes the instance put (or
+	// scheduled) on the air: piggybacked header bytes, injected control
+	// frames and their ACKs. Message-free controllers report 0.
+	OverheadBytes() uint64
+}
+
+// EZInstance is implemented by the ezflow instance so the scenario layer
+// can keep exporting contention-window traces.
+type EZInstance interface {
+	// EZ returns the underlying BOE/CAA deployment.
+	EZ() *ez.Deployment
+}
+
+// Info describes one registered controller.
+type Info struct {
+	// Name is the registry key ("ezflow", "backpressure", ...).
+	Name string
+	// Summary is the one-line description CLI usage strings embed.
+	Summary string
+	// Deploy installs the controller over a mesh. Implementations fill
+	// their own Options defaults, so callers may pass a zero Options.
+	Deploy func(m *mesh.Mesh, opts Options) Instance
+}
+
+var registry = map[string]Info{}
+
+// Register adds a controller to the registry. It panics on an empty name,
+// a duplicate, or a nil Deploy — registration bugs must fail at init.
+func Register(info Info) {
+	if info.Name == "" {
+		panic("ctl: Register with empty name")
+	}
+	if info.Deploy == nil {
+		panic("ctl: Register " + info.Name + " with nil Deploy")
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic("ctl: duplicate controller " + info.Name)
+	}
+	registry[info.Name] = info
+}
+
+// ByName looks a controller up by its registry name.
+func ByName(name string) (Info, bool) {
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns every registered controller name, sorted, so CLI usage
+// strings and validation errors enumerate the registry instead of
+// hand-maintained lists.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamesList renders the registry names as "a|b|c" for flag usage strings.
+func NamesList() string { return strings.Join(Names(), "|") }
+
+// IsNone reports whether name is one of the spellings that select no
+// controller at all — the raw 802.11 baseline: "", "802.11", "80211",
+// "off", "none", "plain". Every CLI flag, sweep axis and scenario field
+// shares this predicate so the spellings can never drift apart.
+func IsNone(name string) bool {
+	switch strings.ToLower(name) {
+	case "", "802.11", "80211", "off", "none", "plain":
+		return true
+	}
+	return false
+}
+
+// Usage renders one "name — summary" line per registered controller, for
+// CLI help text.
+func Usage() string {
+	var b strings.Builder
+	for i, n := range Names() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "  %-12s %s", n, registry[n].Summary)
+	}
+	return b.String()
+}

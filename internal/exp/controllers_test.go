@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"testing"
+
+	root "ezflow"
+)
+
+// tinyControllers runs the head-to-head at the shortest duration with the
+// given worker count.
+func tinyControllers(parallel int) *ControllersResult {
+	return Controllers(Options{Seed: 1, Scale: 0.01, Parallel: parallel})
+}
+
+// TestControllersMatrix checks the head-to-head covers the full grid —
+// every competitor controller on both topologies under all three dynamics
+// regimes — and that the signalling schemes (and only they) pay control
+// bytes.
+func TestControllersMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	res := tinyControllers(4)
+	want := len(CompetitorControllers) * 2 * len(ControllerDynamics)
+	if len(res.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), want)
+	}
+	for _, topo := range []string{"chain4", "parking-lot"} {
+		for _, dyn := range ControllerDynamics {
+			for _, ctrl := range CompetitorControllers {
+				run := res.Get(ctrl, topo, dyn)
+				if run == nil {
+					t.Fatalf("missing cell (%s, %s, %s)", ctrl, topo, dyn)
+				}
+				if run.AggKbps <= 0 {
+					t.Errorf("(%s, %s, %s): no goodput", ctrl, topo, dyn)
+				}
+				switch ctrl {
+				case "backpressure", "feedback":
+					if run.OverheadBytes == 0 {
+						t.Errorf("(%s, %s, %s): signalling scheme reported zero overhead", ctrl, topo, dyn)
+					}
+				case "staticcap", "ezflow":
+					if run.OverheadBytes != 0 {
+						t.Errorf("(%s, %s, %s): message-free scheme reported overhead %d", ctrl, topo, dyn, run.OverheadBytes)
+					}
+				}
+				if dyn == "static" {
+					if run.RecoverySec != -1 || !run.Recovered {
+						t.Errorf("(%s, %s, %s): static cell carries fault metrics", ctrl, topo, dyn)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestControllersParallelInvariance pins the report to identical output
+// for any worker count.
+func TestControllersParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	a := tinyControllers(1).Report.String()
+	b := tinyControllers(7).Report.String()
+	if a != b {
+		t.Errorf("reports diverge between parallel=1 and parallel=7:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestControllersSelectable checks the config path the experiment relies
+// on: an unknown controller name must panic at wiring, not run silently
+// uncontrolled.
+func TestControllersSelectable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown controller wired without panic")
+		}
+	}()
+	cfg := root.DefaultConfig()
+	cfg.Duration = root.Second
+	cfg.Controller = "definitely-not-registered"
+	root.NewChain(2, cfg, root.FlowSpec{Flow: 1, RateBps: 1e5})
+}

@@ -118,7 +118,7 @@ func Deploy(m *mesh.Mesh, opts Options) *Deployment {
 // their BOE state and contention-window trajectory survive the repair.
 // The Controllers slice stays sorted by (node, successor).
 func (d *Deployment) Extend(m *mesh.Mesh) {
-	relays := relaySet(m)
+	relays := m.RelaySet()
 	for _, n := range m.Nodes() {
 		for _, q := range n.Queues() {
 			if d.attached[q] || !relays[q.NextHop()] {
@@ -137,19 +137,6 @@ func (d *Deployment) Extend(m *mesh.Mesh) {
 		}
 		return a.Successor < b.Successor
 	})
-}
-
-// relaySet reports the nodes that forward traffic on some flow (appear in
-// the interior of a route).
-func relaySet(m *mesh.Mesh) map[pkt.NodeID]bool {
-	rs := make(map[pkt.NodeID]bool)
-	for _, f := range m.Flows() {
-		route := m.Route(f)
-		for i := 1; i < len(route)-1; i++ {
-			rs[route[i]] = true
-		}
-	}
-	return rs
 }
 
 // At returns the controllers installed at a node.

@@ -81,6 +81,13 @@ type TapFunc func(f *pkt.Frame, ci pkt.CaptureInfo)
 // sent identifiers exactly when they are truly transmitted physically.
 type TxNotifyFunc func(f *pkt.Frame)
 
+// TxStampFunc runs on every outgoing data frame — every attempt, retries
+// included — before the frame's air time is computed, so it may piggyback
+// header fields (Frame.HasBP/BPLen, Frame.QueueTag) that change what goes
+// on the air. Controllers register stamps via AddTxStamp; the frame's
+// Retry bit is already set when stamps run.
+type TxStampFunc func(f *pkt.Frame)
+
 // DropFunc observes packets dropped by this MAC with a reason.
 type DropFunc func(p *pkt.Packet, reason DropReason)
 
@@ -122,6 +129,14 @@ type Queue struct {
 	cwMin     int
 	aifsSlots int // idle slots after SIFS before backoff (2 = legacy DIFS)
 
+	// onEnqueue/onDequeue are the controller hooks of internal/ctl: they
+	// observe each packet accepted into the queue and each packet leaving
+	// it through the MAC (acknowledged or dropped at the retry limit).
+	// Flush bypasses onDequeue: a flushed queue is a halted radio's, not a
+	// scheduling event. Nil hooks cost one branch.
+	onEnqueue func(*pkt.Packet)
+	onDequeue func(*pkt.Packet)
+
 	// Stats
 	Enqueued  uint64
 	Dropped   uint64
@@ -149,6 +164,14 @@ func (q *Queue) SetAIFSSlots(n int) {
 		n = 1
 	}
 	q.aifsSlots = n
+}
+
+// SetHooks registers the queue's enqueue/dequeue observers (either may be
+// nil). At most one pair is supported — a second call replaces the first —
+// because exactly one controller owns a queue at a time.
+func (q *Queue) SetHooks(onEnqueue, onDequeue func(*pkt.Packet)) {
+	q.onEnqueue = onEnqueue
+	q.onDequeue = onDequeue
 }
 
 // ifs is the inter-frame space this queue defers before backoff.
@@ -187,6 +210,9 @@ func (q *Queue) Enqueue(p *pkt.Packet) bool {
 	if len(q.buf) > q.PeakDepth {
 		q.PeakDepth = len(q.buf)
 	}
+	if q.onEnqueue != nil {
+		q.onEnqueue(p)
+	}
 	q.mac.kick()
 	return true
 }
@@ -221,6 +247,9 @@ func (q *Queue) pop() *pkt.Packet {
 	q.buf[len(q.buf)-1] = nil
 	q.buf = q.buf[:len(q.buf)-1]
 	q.Dequeued++
+	if q.onDequeue != nil {
+		q.onDequeue(p)
+	}
 	return p
 }
 
@@ -251,6 +280,7 @@ type MAC struct {
 	deliver DeliverFunc
 	taps    []TapFunc
 	txHooks []TxNotifyFunc
+	stamps  []TxStampFunc
 	drops   []DropFunc
 
 	state      txState
@@ -352,6 +382,10 @@ func (m *MAC) AddTap(t TapFunc) { m.taps = append(m.taps, t) }
 // AddTxNotify registers an on-air transmit observer.
 func (m *MAC) AddTxNotify(t TxNotifyFunc) { m.txHooks = append(m.txHooks, t) }
 
+// AddTxStamp registers a per-attempt outgoing-frame stamp (see
+// TxStampFunc).
+func (m *MAC) AddTxStamp(s TxStampFunc) { m.stamps = append(m.stamps, s) }
+
 // AddDropHook registers a drop observer.
 func (m *MAC) AddDropHook(d DropFunc) { m.drops = append(m.drops, d) }
 
@@ -381,6 +415,19 @@ func (m *MAC) QueueTo(next pkt.NodeID) *Queue {
 		}
 	}
 	return nil
+}
+
+// QueuedTo reports the packets buffered across every queue whose next hop
+// is next — the per-successor backlog a backpressure controller
+// advertises. It allocates nothing.
+func (m *MAC) QueuedTo(next pkt.NodeID) int {
+	n := 0
+	for _, q := range m.queues {
+		if q.next == next {
+			n += len(q.buf)
+		}
+	}
+	return n
 }
 
 // SetDown powers the station's radio off (true) or back on (false) — the
@@ -737,6 +784,9 @@ func (m *MAC) sendData() {
 	f.Retry = m.attempts > 0
 	m.attempts++
 	m.TxData++
+	for _, s := range m.stamps {
+		s(f)
+	}
 	if m.attempts > 1 {
 		m.TxRetries++
 	} else {
@@ -754,7 +804,16 @@ func (m *MAC) sendData() {
 }
 
 func (m *MAC) sendRTS() {
-	dataAir := m.ch.AirTime(m.cur.head().Bytes + pkt.MACHeaderBytes)
+	// Stamps may grow the coming data frame by the optional backpressure
+	// header, which does not exist yet when the NAV is computed; reserve
+	// for it whenever stamps are registered. A stamp that adds no on-air
+	// bytes leaves the NAV 2 bytes long — over-reservation is benign,
+	// under-reservation would let neighbours contend into the data frame.
+	extra := 0
+	if len(m.stamps) > 0 {
+		extra = pkt.BPHeaderBytes
+	}
+	dataAir := m.ch.AirTime(m.cur.head().Bytes + pkt.MACHeaderBytes + extra)
 	nav := 3*SIFS + m.ch.AirTime(pkt.CTSBytes) + dataAir + m.ch.AirTime(pkt.AckBytes)
 	f := m.pool.Frame()
 	f.Type, f.TxSrc, f.TxDst, f.NAV = pkt.FrameRTS, m.id, m.cur.next, nav

@@ -178,6 +178,21 @@ func (m *Mesh) Flows() []pkt.FlowID {
 	return out
 }
 
+// RelaySet reports the nodes that forward traffic on some flow (appear
+// in the interior of an installed route) — the coverage rule every
+// controller deployment shares: only queues draining into a relay need
+// a controller, because a destination never forwards.
+func (m *Mesh) RelaySet() map[pkt.NodeID]bool {
+	rs := make(map[pkt.NodeID]bool)
+	for _, f := range m.Flows() {
+		route := m.routes[f]
+		for i := 1; i < len(route)-1; i++ {
+			rs[route[i]] = true
+		}
+	}
+	return rs
+}
+
 // NextHop reports the successor of node on flow, with ok=false at (or off)
 // the destination.
 func (m *Mesh) NextHop(flow pkt.FlowID, node pkt.NodeID) (pkt.NodeID, bool) {

@@ -72,6 +72,11 @@ const (
 	AckBytes       = 14
 	RTSBytes       = 20
 	CTSBytes       = 14
+	// BPHeaderBytes is the optional backpressure header a
+	// queue-differential controller prepends to data frames (one 16-bit
+	// backlog field). Unlike QueueTag it is charged on the air: frames
+	// carrying it really are BPHeaderBytes longer.
+	BPHeaderBytes = 2
 	// DefaultPayloadBytes is the network packet size used throughout the
 	// paper's experiments (1000-byte application payload + IP/UDP headers).
 	DefaultPayloadBytes = 1028
@@ -150,6 +155,13 @@ type Frame struct {
 	// DiffQ baseline, which does modify the packet structure — EZ-Flow
 	// never reads it).
 	QueueTag int
+	// HasBP marks a data frame carrying the optional backpressure header:
+	// BPLen is then the transmitter's backlog toward TxDst in packets, and
+	// the frame is BPHeaderBytes longer on the air. Only the backpressure
+	// controller (internal/ctl) sets it; EZ-Flow never reads it.
+	HasBP bool
+	// BPLen is the piggybacked queue length carried when HasBP is set.
+	BPLen int
 	// Retry marks a retransmission, mirroring the 802.11 retry bit.
 	Retry bool
 	// pooled marks frames obtained from a Pool, so PutFrame recycles only
@@ -164,6 +176,9 @@ func (f *Frame) Bytes() int {
 		n := MACHeaderBytes
 		if f.Payload != nil {
 			n += f.Payload.Bytes
+		}
+		if f.HasBP {
+			n += BPHeaderBytes
 		}
 		return n
 	case FrameAck:

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"ezflow"
+	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
@@ -46,6 +47,12 @@ type Spec struct {
 	// Mode is the control mechanism: 802.11 | ezflow | penalty | diffq
 	// (default 802.11).
 	Mode string `json:"mode,omitempty"`
+	// Controller selects a congestion controller from the internal/ctl
+	// registry by name (ezflow | backpressure | feedback | staticcap |
+	// penalty | diffq — see ctl.Names()). It is mutually exclusive with
+	// Mode: a spec sets one or the other, so a file can never claim two
+	// control planes at once.
+	Controller string `json:"controller,omitempty"`
 	// Seed is the run's random seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
 	// DurationSec is the simulated horizon in seconds (default 600).
@@ -198,6 +205,14 @@ func (s *Spec) Validate() error {
 	if _, err := ParseMode(s.Mode); err != nil {
 		return err
 	}
+	if s.Controller != "" {
+		if s.Mode != "" {
+			return fmt.Errorf("scenario: mode %q and controller %q are mutually exclusive (set one)", s.Mode, s.Controller)
+		}
+		if _, ok := ctl.ByName(s.Controller); !ok {
+			return fmt.Errorf("scenario: unknown controller %q (registered: %s)", s.Controller, ctl.NamesList())
+		}
+	}
 	if s.DurationSec < 0 {
 		return fmt.Errorf("scenario: negative duration_sec %g", s.DurationSec)
 	}
@@ -267,6 +282,7 @@ func (s *Spec) Config() ezflow.Config {
 		cfg.Duration = sim.FromSeconds(s.DurationSec)
 	}
 	cfg.Mode, _ = ParseMode(s.Mode) // Validate vetted the spelling
+	cfg.Controller = s.Controller
 	cfg.MAC.HardwareCWCap = s.CWCap
 	cfg.WarmupSkip = sim.FromSeconds(s.WarmupSec)
 	cfg.RecoveryTolerance = s.RecoveryTolerance
