@@ -36,11 +36,13 @@ staticcheck:
 
 # bench runs the hot-path benchmarks guarding the simulator core — the
 # end-to-end chain and large-topology scenarios, the event-queue
-# micro-benchmarks, the PHY transmission path, and the controller hot
-# hooks (OnOverhear/OnDequeue, pinned at zero allocs) — gates them
-# against the committed baseline (BENCH_PR4.json; >25% ns/op or
+# micro-benchmarks, the PHY transmission path, the controller hot hooks
+# (OnOverhear/OnDequeue, pinned at zero allocs), and the observability
+# instruments (counter/vec/histogram/flight-record increments plus the
+# disabled nil-receiver hooks, all pinned at zero allocs) — gates them
+# against the committed baseline (BENCH_PR5.json; >25% ns/op or
 # allocs/op regression fails, zero-alloc pins fail on any alloc),
-# archives the fresh run as BENCH_PR5.json (uploaded as a CI artifact,
+# archives the fresh run as BENCH_PR6.json (uploaded as a CI artifact,
 # committed when the recorded trajectory changes), and prints the
 # speedup table.
 bench:
@@ -52,10 +54,12 @@ bench:
 	    ./internal/phy | tee -a /tmp/bench.out
 	$(GO) test -bench='^BenchmarkCtl' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/ctl | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson -baseline BENCH_PR4.json -tolerance 0.25 \
-	    < /tmp/bench.out > BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
-	$(GO) run ./tools/benchjson -compare BENCH_PR4.json BENCH_PR5.json
+	$(GO) test -bench='^BenchmarkObs' -benchmem -run='^$$' -benchtime=1s \
+	    ./internal/obs | tee -a /tmp/bench.out
+	$(GO) run ./tools/benchjson -baseline BENCH_PR5.json -tolerance 0.25 \
+	    < /tmp/bench.out > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
+	$(GO) run ./tools/benchjson -compare BENCH_PR5.json BENCH_PR6.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).

@@ -22,12 +22,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/exp"
+	"ezflow/internal/obs"
 )
 
 // experimentNames renders the registered experiment list for the -exp
@@ -104,36 +104,16 @@ func main() {
 		}
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+		os.Exit(1)
 	}
-	if *memprofile != "" {
-		path := *memprofile
-		defer func() {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			// Materialise outstanding allocation records: pprof profiles
-			// reflect state as of the last completed GC cycle.
-			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+		}
+	}()
 
 	o := exp.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	for _, e := range experiments {

@@ -35,6 +35,13 @@
 //
 // Results are deterministic: the same spec and seed produce byte-identical
 // JSON/CSV regardless of -parallel.
+//
+// Observability: -obs serves live campaign progress (done/total runs)
+// and pprof over HTTP while the grid executes; -cpuprofile/-memprofile
+// write Go profiles of the whole campaign; -obs-runs attaches per-run
+// metrics and flight recording inside every worker. None of these change
+// the emitted results — the golden tests pin byte-identity with
+// observability on and off.
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/campaign"
+	"ezflow/internal/obs"
 	"ezflow/internal/scenario"
 )
 
@@ -84,6 +92,10 @@ func main() {
 		csvOut   = flag.String("csv", "", "write per-replication CSV to this file (\"-\" = stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress the human-readable report")
 		progress = flag.Bool("progress", true, "print live progress to stderr")
+		obsAddr  = flag.String("obs", "", "serve live campaign progress and pprof at this address, e.g. 127.0.0.1:8080")
+		obsRuns  = flag.Bool("obs-runs", false, "attach per-run observability (metrics + flight recorder) to every run; results stay byte-identical")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a post-campaign heap profile to this file")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -107,9 +119,31 @@ func main() {
 		}
 		spec.Scenario = s
 	}
+	spec.Obs = *obsRuns
+
+	stopProfiles, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var srv *obs.Server
+	if *obsAddr != "" {
+		srv, err = obs.NewServer(*obsAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ezcampaign: observability endpoint at http://%s\n", srv.Addr())
+	}
+
 	eng := campaign.Engine{Parallel: *parallel}
-	if *progress {
+	if *progress || srv != nil {
+		printProgress := *progress
 		eng.Progress = func(done, total int) {
+			// PublishProgress is atomic, so it is safe from whichever worker
+			// goroutine reports completion.
+			srv.PublishProgress(obs.Progress{Done: int64(done), Total: int64(total)})
+			if !printProgress {
+				return
+			}
 			fmt.Fprintf(os.Stderr, "\rezcampaign: %d/%d runs", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
@@ -119,6 +153,12 @@ func main() {
 	res, err := eng.Run(spec)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if err := stopProfiles(); err != nil {
+		fatalf("writing profiles: %v", err)
+	}
+	if srv != nil {
+		defer srv.Close() //nolint:errcheck // exiting anyway
 	}
 
 	var sinks []campaign.Sink

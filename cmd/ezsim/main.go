@@ -24,6 +24,14 @@
 // (explicit rate-feedback control frames), and staticcap (fixed per-hop
 // window).
 //
+// Observability (see internal/obs and "Inspecting a run" in README.md):
+// -obs serves live metrics, progress and pprof over HTTP while the run
+// executes (with -obs-hold keeping the endpoint up afterwards);
+// -flightrec dumps the last -flightrec-size packet-lifecycle events as
+// JSONL, filterable by -flightrec-flow and -flightrec-node; -metrics
+// exports the final metrics snapshot as JSON; -cpuprofile and
+// -memprofile write Go profiles. None of these change a run's results.
+//
 // -scenario runs a declarative JSON scenario file instead — topology,
 // flows, and a dynamics timeline of timed perturbations (link flaps, node
 // churn, channel degradation, traffic steps); see internal/scenario for
@@ -68,6 +76,8 @@ func main() {
 		doPlot   = flag.Bool("plot", false, "render ASCII charts of queues, throughput and cw")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
+	var o obsOpts
+	o.registerFlags()
 	flag.Parse()
 	if *version {
 		fmt.Println("ezsim " + buildinfo.String())
@@ -81,7 +91,7 @@ func main() {
 	if *scenFile != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runScenarioFile(*scenFile, set, *mode, *ctlName, *seed, *duration, *cap, *traceDir, *doPlot)
+		runScenarioFile(*scenFile, set, *mode, *ctlName, *seed, *duration, *cap, *traceDir, *doPlot, &o)
 		return
 	}
 
@@ -153,7 +163,7 @@ func main() {
 		fatalf("unknown topology %q", *topology)
 	}
 
-	res := sc.Run()
+	res := o.run(sc)
 	printSummary(res)
 	if *doPlot {
 		printPlots(res)
@@ -182,7 +192,7 @@ func validateController(name string) error {
 // -controller, -seed, -duration and -cap override the file when passed
 // explicitly (set holds the names of flags present on the command line).
 func runScenarioFile(path string, set map[string]bool, mode, ctlName string, seed int64,
-	durationSec float64, cwCap int, traceDir string, doPlot bool) {
+	durationSec float64, cwCap int, traceDir string, doPlot bool, o *obsOpts) {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -217,7 +227,7 @@ func runScenarioFile(path string, set map[string]bool, mode, ctlName string, see
 	if spec.Name != "" {
 		fmt.Printf("scenario %q\n", spec.Name)
 	}
-	res := sc.Run()
+	res := o.run(sc)
 	printSummary(res)
 	if doPlot {
 		printPlots(res)

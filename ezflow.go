@@ -42,6 +42,7 @@ import (
 	ez "ezflow/internal/ezflow"
 	"ezflow/internal/mac"
 	"ezflow/internal/mesh"
+	"ezflow/internal/obs"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
@@ -171,6 +172,13 @@ type Config struct {
 	// (default 0.2, i.e. back to 80%).
 	RecoveryTolerance float64
 
+	// Obs, when non-nil, enables the observability layer (metric
+	// registry, packet flight recorder; see internal/obs) at wiring.
+	// Observability never perturbs a run: results are byte-identical with
+	// it on or off. Library callers can instead call Scenario.EnableObs
+	// on a built scenario.
+	Obs *obs.Config
+
 	// PacketBytes is the network packet size (default 1028).
 	PacketBytes int
 	// Bin is the width of throughput bins (default 10 s).
@@ -230,6 +238,9 @@ type Scenario struct {
 	// Dyn is the perturbation engine, non-nil once a dynamics script is
 	// attached (Config.Dynamics or AddDynamics).
 	Dyn *dynamics.Engine
+	// Obs is the attached observability state, non-nil once enabled
+	// (Config.Obs or EnableObs); see internal/obs.
+	Obs *obs.Set
 
 	specs []FlowSpec
 	ran   bool
@@ -463,6 +474,12 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 			panic(fmt.Sprintf("ezflow: %v", err))
 		}
 	}
+
+	// Observability, when the config asks for it (never perturbs the run;
+	// see EnableObs).
+	if cfg.Obs != nil {
+		sc.EnableObs(*cfg.Obs)
+	}
 	return sc
 }
 
@@ -532,6 +549,9 @@ type Result struct {
 	// DynamicsLog lists every applied perturbation in execution order
 	// (empty without a dynamics script).
 	DynamicsLog []dynamics.Applied
+	// Obs is the final metrics snapshot, non-nil only when the scenario
+	// ran with metrics enabled (Config.Obs or EnableObs).
+	Obs *obs.Snapshot
 }
 
 // Run executes the scenario until cfg.Duration and summarises. It can only
@@ -599,6 +619,9 @@ func (sc *Scenario) Run() *Result {
 	if sc.Dyn != nil {
 		res.DynamicsLog = sc.Dyn.Log
 		res.Stability = computeStability(sc, res)
+	}
+	if sc.Obs != nil && sc.Obs.Reg != nil {
+		res.Obs = sc.Obs.Reg.Snapshot(now)
 	}
 	return res
 }

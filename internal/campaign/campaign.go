@@ -33,6 +33,7 @@ import (
 	"ezflow"
 	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
+	"ezflow/internal/obs"
 	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
 )
@@ -63,6 +64,12 @@ type Spec struct {
 	// and are rejected. The file's duration wins over DurationSec unless
 	// the file leaves it unset.
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Obs attaches the observability layer (metrics + flight recorder;
+	// see internal/obs) to every run. It is excluded from serialization
+	// on purpose: observability never perturbs a run, so campaign output
+	// — the spec echo included — must stay byte-identical with it on or
+	// off (golden tests pin this).
+	Obs bool `json:"-"`
 }
 
 // sweeps reports whether the named axis is swept by this spec.
@@ -541,6 +548,9 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 
 	sc := buildScenario(spec, p, cfg)
 	applyAxisFaults(sc, p)
+	if spec.Obs {
+		sc.EnableObs(obs.Config{Metrics: true, FlightRecorder: 4096})
+	}
 	res := sc.Run()
 	rr := RunResult{
 		Point: p.Index, Label: p.Label, Rep: rep, Seed: seed,

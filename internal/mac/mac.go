@@ -22,6 +22,7 @@ package mac
 import (
 	"fmt"
 
+	"ezflow/internal/obs"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
@@ -118,6 +119,20 @@ func (r DropReason) String() string {
 	}
 }
 
+// cause maps the drop reason to the flight recorder's cause code.
+func (r DropReason) cause() obs.Cause {
+	switch r {
+	case DropQueueOverflow:
+		return obs.CauseQueueOverflow
+	case DropRetryExceeded:
+		return obs.CauseRetryExceeded
+	case DropHalted:
+		return obs.CauseHalted
+	default:
+		return obs.CauseNone
+	}
+}
+
 // Queue is a bounded FIFO transmit queue with its own CWmin and AIFS —
 // the two knobs IEEE 802.11e EDCA differentiates access categories by,
 // which the paper's §7 extension repurposes as per-successor queues.
@@ -137,11 +152,30 @@ type Queue struct {
 	onEnqueue func(*pkt.Packet)
 	onDequeue func(*pkt.Packet)
 
-	// Stats
-	Enqueued  uint64
-	Dropped   uint64
-	Dequeued  uint64
+	// Enqueued counts packets accepted into the queue.
+	Enqueued uint64
+	// Dropped counts packets the queue itself discarded (overflow plus
+	// flush; retry-limit drops are the MAC's, see DroppedRetry).
+	Dropped uint64
+	// Dequeued counts packets that left through the MAC.
+	Dequeued uint64
+	// PeakDepth is the high-water mark of the queue depth.
 	PeakDepth int
+
+	// Per-reason drop counters (observability; Dropped keeps its historic
+	// overflow+flush semantics). DroppedRetry counts head packets the MAC
+	// abandoned at the retry limit while this queue owned the attempt.
+	DroppedOverflow uint64
+	// DroppedFlush counts packets discarded by Flush (halted radio).
+	DroppedFlush uint64
+	// DroppedRetry counts retry-limit drops charged to this queue.
+	DroppedRetry uint64
+	// Retries counts re-transmission attempts of this queue's head
+	// packets — the per-link retry signal of the observability layer.
+	Retries uint64
+	// CWChanges counts effective SetCWmin changes — how often a
+	// controller actually moved this queue's window.
+	CWChanges uint64
 }
 
 // NextHop reports the queue's MAC next hop.
@@ -192,6 +226,9 @@ func (q *Queue) SetCWmin(cw int) {
 	if cap := q.mac.cfg.HardwareCWCap; cap > 0 && cw > cap {
 		cw = cap
 	}
+	if cw != q.cwMin {
+		q.CWChanges++
+	}
 	q.cwMin = cw
 }
 
@@ -201,6 +238,8 @@ func (q *Queue) SetCWmin(cw int) {
 func (q *Queue) Enqueue(p *pkt.Packet) bool {
 	if len(q.buf) >= q.mac.cfg.QueueCap {
 		q.Dropped++
+		q.DroppedOverflow++
+		q.mac.record(obs.KindDrop, obs.CauseQueueOverflow, q.next, p)
 		q.mac.notifyDrop(p, DropQueueOverflow)
 		return false
 	}
@@ -210,6 +249,7 @@ func (q *Queue) Enqueue(p *pkt.Packet) bool {
 	if len(q.buf) > q.PeakDepth {
 		q.PeakDepth = len(q.buf)
 	}
+	q.mac.record(obs.KindEnqueue, obs.CauseNone, q.next, p)
 	if q.onEnqueue != nil {
 		q.onEnqueue(p)
 	}
@@ -226,6 +266,8 @@ func (q *Queue) Flush() int {
 	n := len(q.buf)
 	for i, p := range q.buf {
 		q.Dropped++
+		q.DroppedFlush++
+		q.mac.record(obs.KindDrop, obs.CauseHalted, q.next, p)
 		q.mac.notifyDrop(p, DropHalted)
 		p.Release()
 		q.buf[i] = nil
@@ -319,6 +361,10 @@ type MAC struct {
 	TxFailed  uint64
 	RxData    uint64
 	RxDup     uint64
+
+	// rec is the attached packet flight recorder; nil (the default) costs
+	// one branch per lifecycle event. See SetRecorder.
+	rec *obs.FlightRecorder
 }
 
 // New creates a MAC for node id at pos, registering it on the channel.
@@ -388,6 +434,22 @@ func (m *MAC) AddTxStamp(s TxStampFunc) { m.stamps = append(m.stamps, s) }
 
 // AddDropHook registers a drop observer.
 func (m *MAC) AddDropHook(d DropFunc) { m.drops = append(m.drops, d) }
+
+// SetRecorder attaches a packet flight recorder (nil detaches). Every
+// queue lifecycle event at this MAC — enqueue, tx-attempt, retry,
+// acknowledged dequeue, drop with reason — is recorded. Recording writes
+// only into the recorder's ring, so attaching one cannot change the
+// simulation's behaviour.
+func (m *MAC) SetRecorder(rec *obs.FlightRecorder) { m.rec = rec }
+
+// record writes one flight-recorder event for p at this node. The nil
+// check lives here (not in obs) so the disabled path pays a branch and
+// no call.
+func (m *MAC) record(k obs.Kind, cause obs.Cause, peer pkt.NodeID, p *pkt.Packet) {
+	if m.rec != nil {
+		m.rec.Record(m.eng.Now(), k, cause, m.id, peer, p.Flow, p.Seq)
+	}
+}
 
 func (m *MAC) notifyDrop(p *pkt.Packet, r DropReason) {
 	for _, d := range m.drops {
@@ -574,6 +636,9 @@ func (m *MAC) rxAck(f *pkt.Frame) {
 	}
 	m.timer.Cancel()
 	m.TxAcked++
+	if m.rec != nil {
+		m.record(obs.KindDequeue, obs.CauseAcked, m.cur.next, m.cur.head())
+	}
 	m.cur.pop().Release()
 	m.cur = nil
 	m.attempts = 0
@@ -789,7 +854,10 @@ func (m *MAC) sendData() {
 	}
 	if m.attempts > 1 {
 		m.TxRetries++
+		m.cur.Retries++
+		m.record(obs.KindRetry, obs.CauseNone, m.cur.next, f.Payload)
 	} else {
+		m.record(obs.KindTxAttempt, obs.CauseNone, m.cur.next, f.Payload)
 		for _, h := range m.txHooks {
 			h(f)
 		}
@@ -834,7 +902,9 @@ func (m *MAC) ackTimeout() {
 	}
 	if m.attempts >= m.cfg.RetryLimit {
 		m.TxFailed++
+		m.cur.DroppedRetry++
 		p := m.cur.pop()
+		m.record(obs.KindDrop, obs.CauseRetryExceeded, m.cur.next, p)
 		m.notifyDrop(p, DropRetryExceeded)
 		p.Release()
 		m.cur = nil

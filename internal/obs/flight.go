@@ -1,0 +1,239 @@
+// The packet flight recorder: a fixed-size ring of structured
+// packet-lifecycle events (enqueue → dequeue → tx-attempt → retry → drop
+// or deliver, each with a cause code). Recording is a single array write —
+// no allocation, no formatting — so it can sit on the MAC hot path; the
+// ring overwrites its oldest entries, so a recorder holds the last N
+// events of a run however long the run is. Dumps are JSONL, filterable by
+// flow and node, so one packet's life through a link flap can be replayed
+// after the fact.
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+// DefaultFlightRecorderSize is the ring capacity used when a positive
+// size is not given: 64k events (~3 MB) covers several seconds of a
+// saturated run.
+const DefaultFlightRecorderSize = 1 << 16
+
+// Kind classifies a packet-lifecycle event.
+type Kind uint8
+
+// The packet-lifecycle event kinds, in the order a delivered packet
+// experiences them.
+const (
+	// KindEnqueue marks a packet accepted into a transmit queue.
+	KindEnqueue Kind = iota
+	// KindTxAttempt marks the first transmission attempt of a queue-head
+	// packet.
+	KindTxAttempt
+	// KindRetry marks a re-transmission attempt after a missing ACK.
+	KindRetry
+	// KindDequeue marks a packet leaving its queue acknowledged.
+	KindDequeue
+	// KindDrop marks a packet discarded; the Cause says why.
+	KindDrop
+	// KindDeliver marks a packet reaching its final destination.
+	KindDeliver
+)
+
+// String names the kind for dumps.
+func (k Kind) String() string {
+	switch k {
+	case KindEnqueue:
+		return "enqueue"
+	case KindTxAttempt:
+		return "tx-attempt"
+	case KindRetry:
+		return "retry"
+	case KindDequeue:
+		return "dequeue"
+	case KindDrop:
+		return "drop"
+	case KindDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// Cause qualifies an event (chiefly drops and dequeues).
+type Cause uint8
+
+// The event cause codes.
+const (
+	// CauseNone marks events that need no qualification.
+	CauseNone Cause = iota
+	// CauseAcked marks a dequeue triggered by a received ACK.
+	CauseAcked
+	// CauseQueueOverflow marks a drop at a full transmit queue.
+	CauseQueueOverflow
+	// CauseRetryExceeded marks a drop at the MAC retry limit.
+	CauseRetryExceeded
+	// CauseHalted marks a drop from flushing a halted node's queues.
+	CauseHalted
+)
+
+// String names the cause for dumps.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return ""
+	case CauseAcked:
+		return "acked"
+	case CauseQueueOverflow:
+		return "queue-overflow"
+	case CauseRetryExceeded:
+		return "retry-exceeded"
+	case CauseHalted:
+		return "halted"
+	default:
+		return "unknown"
+	}
+}
+
+// PacketEvent is one recorded lifecycle event. Node is where the event
+// happened; Peer is the MAC next hop for queue/transmit events and the
+// packet's source for deliveries.
+type PacketEvent struct {
+	// At is the simulation time of the event.
+	At sim.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Cause qualifies it (CauseNone when self-explanatory).
+	Cause Cause
+	// Node is the node the event happened at.
+	Node pkt.NodeID
+	// Peer is the next hop (queue and transmit events) or the packet
+	// source (deliveries).
+	Peer pkt.NodeID
+	// Flow is the packet's flow id.
+	Flow pkt.FlowID
+	// Seq is the packet's per-flow sequence number.
+	Seq uint64
+}
+
+// FlightRecorder is a ring buffer of PacketEvents. Record overwrites the
+// oldest entry once the ring is full and is safe (a no-op) on a nil
+// receiver, so every instrumented layer holds a possibly-nil recorder.
+// Like the Registry it is owned by one scenario's simulation goroutine.
+type FlightRecorder struct {
+	buf   []PacketEvent
+	next  int    // ring write position
+	total uint64 // events ever recorded
+}
+
+// NewFlightRecorder creates a recorder holding size events
+// (DefaultFlightRecorderSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{buf: make([]PacketEvent, 0, size)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. No-op on a nil receiver; allocation-free always.
+func (fr *FlightRecorder) Record(at sim.Time, k Kind, cause Cause, node, peer pkt.NodeID, flow pkt.FlowID, seq uint64) {
+	if fr == nil {
+		return
+	}
+	ev := PacketEvent{At: at, Kind: k, Cause: cause, Node: node, Peer: peer, Flow: flow, Seq: seq}
+	if len(fr.buf) < cap(fr.buf) {
+		fr.buf = append(fr.buf, ev)
+	} else {
+		fr.buf[fr.next] = ev
+		fr.next++
+		if fr.next == len(fr.buf) {
+			fr.next = 0
+		}
+	}
+	fr.total++
+}
+
+// Total reports how many events were ever recorded (including ones the
+// ring has since overwritten). 0 on a nil receiver.
+func (fr *FlightRecorder) Total() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.total
+}
+
+// Overwritten reports how many recorded events the ring no longer holds.
+func (fr *FlightRecorder) Overwritten() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.total - uint64(len(fr.buf))
+}
+
+// Events returns the retained events oldest-first (a copy; the recorder
+// may keep recording).
+func (fr *FlightRecorder) Events() []PacketEvent {
+	if fr == nil || len(fr.buf) == 0 {
+		return nil
+	}
+	out := make([]PacketEvent, 0, len(fr.buf))
+	if len(fr.buf) == cap(fr.buf) {
+		out = append(out, fr.buf[fr.next:]...)
+		out = append(out, fr.buf[:fr.next]...)
+		return out
+	}
+	return append(out, fr.buf...)
+}
+
+// Filter selects a subset of recorded events for dumping. The zero value
+// matches everything; set MatchFlow/MatchNode to narrow. A node filter
+// keeps events the node participates in on either side (as the event's
+// node or its peer).
+type Filter struct {
+	// MatchFlow restricts to one flow when true.
+	MatchFlow bool
+	// Flow is the flow to keep when MatchFlow is set.
+	Flow pkt.FlowID
+	// MatchNode restricts to one node's events when true.
+	MatchNode bool
+	// Node is the node to keep when MatchNode is set.
+	Node pkt.NodeID
+}
+
+// keep reports whether the filter retains ev.
+func (f Filter) keep(ev *PacketEvent) bool {
+	if f.MatchFlow && ev.Flow != f.Flow {
+		return false
+	}
+	if f.MatchNode && ev.Node != f.Node && ev.Peer != f.Node {
+		return false
+	}
+	return true
+}
+
+// WriteJSONL dumps the retained events oldest-first as one JSON object
+// per line, keeping only events the filter matches. It returns the
+// number of lines written. The hand-rolled formatting keeps the output
+// stable (fixed key order, %.9f timestamps align to the engine's
+// nanosecond clock).
+func (fr *FlightRecorder) WriteJSONL(w io.Writer, f Filter) (int, error) {
+	n := 0
+	for _, ev := range fr.Events() {
+		ev := ev
+		if !f.keep(&ev) {
+			continue
+		}
+		_, err := fmt.Fprintf(w,
+			`{"t":%.9f,"kind":%q,"cause":%q,"node":%q,"peer":%q,"flow":%d,"seq":%d}`+"\n",
+			ev.At.Seconds(), ev.Kind.String(), ev.Cause.String(),
+			ev.Node.String(), ev.Peer.String(), ev.Flow, ev.Seq)
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record(sim.Time(i), KindEnqueue, CauseNone, 1, 2, 1, uint64(i))
+	}
+	if fr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", fr.Total())
+	}
+	if fr.Overwritten() != 6 {
+		t.Fatalf("Overwritten = %d, want 6", fr.Overwritten())
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(evs))
+	}
+	// Oldest-first: the ring holds the last 4 of 10 records.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Fatalf("Events[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(1, KindEnqueue, CauseNone, 1, 2, 1, 0)
+	fr.Record(2, KindTxAttempt, CauseNone, 1, 2, 1, 0)
+	if fr.Total() != 2 || fr.Overwritten() != 0 {
+		t.Fatalf("Total/Overwritten = %d/%d, want 2/0", fr.Total(), fr.Overwritten())
+	}
+	evs := fr.Events()
+	if len(evs) != 2 || evs[0].Kind != KindEnqueue || evs[1].Kind != KindTxAttempt {
+		t.Fatalf("partial ring Events wrong: %+v", evs)
+	}
+	if NewFlightRecorder(0) == nil {
+		t.Fatal("size <= 0 must fall back to the default capacity")
+	}
+}
+
+func TestFlightFilter(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record(1, KindEnqueue, CauseNone, 1, 2, 1, 0) // flow 1, nodes 1->2
+	fr.Record(2, KindEnqueue, CauseNone, 3, 4, 2, 0) // flow 2, nodes 3->4
+	fr.Record(3, KindDeliver, CauseNone, 4, 1, 1, 1) // flow 1, at 4 from 1
+
+	count := func(f Filter) int {
+		var b bytes.Buffer
+		n, err := fr.WriteJSONL(&b, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Count(b.String(), "\n"); got != n {
+			t.Fatalf("WriteJSONL reported %d lines, wrote %d", n, got)
+		}
+		return n
+	}
+	if got := count(Filter{}); got != 3 {
+		t.Fatalf("zero filter kept %d, want all 3", got)
+	}
+	if got := count(Filter{MatchFlow: true, Flow: 1}); got != 2 {
+		t.Fatalf("flow filter kept %d, want 2", got)
+	}
+	// Node filter matches either side of an event.
+	if got := count(Filter{MatchNode: true, Node: 4}); got != 2 {
+		t.Fatalf("node filter kept %d, want 2", got)
+	}
+	if got := count(Filter{MatchFlow: true, Flow: 1, MatchNode: true, Node: 3}); got != 0 {
+		t.Fatalf("conjunction kept %d, want 0", got)
+	}
+}
+
+func TestWriteJSONLFormat(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Record(sim.FromSeconds(1.25), KindDrop, CauseRetryExceeded, 2, pkt.Broadcast, 7, 42)
+	var b bytes.Buffer
+	if _, err := fr.WriteJSONL(&b, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSuffix(b.String(), "\n")
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"t": 1.25, "kind": "drop", "cause": "retry-exceeded",
+		"node": "N2", "peer": "bcast", "flow": float64(7), "seq": float64(42),
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("field %q = %v, want %v (line %s)", k, got[k], w, line)
+		}
+	}
+}
+
+func TestKindCauseStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindEnqueue: "enqueue", KindTxAttempt: "tx-attempt", KindRetry: "retry",
+		KindDequeue: "dequeue", KindDrop: "drop", KindDeliver: "deliver",
+		Kind(250): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	causes := map[Cause]string{
+		CauseNone: "", CauseAcked: "acked", CauseQueueOverflow: "queue-overflow",
+		CauseRetryExceeded: "retry-exceeded", CauseHalted: "halted",
+		Cause(250): "unknown",
+	}
+	for c, want := range causes {
+		if c.String() != want {
+			t.Errorf("Cause(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Shared pprof plumbing for the CLIs: ezsim, ezcampaign and ezbench all
+// accept -cpuprofile/-memprofile, and all three route through
+// StartProfiles so the file handling and GC ordering live in one place.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath (when non-empty) and
+// returns a stop function that ends the CPU profile and writes an
+// allocation profile to memPath (when non-empty). Either path may be
+// empty; the returned stop is never nil and is safe to call exactly once.
+//
+// The allocation profile is written after a forced GC, because pprof
+// allocation records reflect state as of the last completed GC cycle.
+// Callers should validate their inputs before calling StartProfiles:
+// an os.Exit on a later error skips stop and leaves a truncated CPU
+// profile behind.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		// Materialise outstanding allocation records first.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", memPath, err)
+		}
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ { // a little work so the profiles are non-trivial
+		_ = make([]byte, 64)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop == nil {
+		t.Fatal("stop must never be nil")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+		t.Fatal("unwritable cpu path must error")
+	}
+}

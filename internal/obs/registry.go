@@ -1,0 +1,223 @@
+// The metric registry: named counters, dense-slot counter families,
+// probe-backed gauges and fixed-bucket histograms. Registration allocates;
+// the increment paths do not, and every increment method is safe on a nil
+// receiver so disabled observability costs one predictable branch.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing metric. The zero-cost contract:
+// Inc/Add on a nil *Counter are no-ops, so hot paths hold a possibly-nil
+// pointer and call unconditionally (or guard with != nil where the call
+// sits inside a loop worth saving the call for).
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value reports the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// CounterVec is a dense-slot family of counters sharing one name prefix —
+// the pkt.NodeIndex pattern applied to metrics. The caller addresses
+// members by a small integer slot (a PHY station slot, a node index), so
+// the hot-path increment is a bounds-checked array write: no map lookup,
+// no hashing, no allocation. Snapshot emits one metric per slot, named
+// "<prefix>.<label>".
+type CounterVec struct {
+	prefix string
+	labels []string
+	v      []uint64
+}
+
+// Inc increments slot's counter by one. No-op on a nil receiver.
+func (cv *CounterVec) Inc(slot int) {
+	if cv != nil {
+		cv.v[slot]++
+	}
+}
+
+// Add increments slot's counter by n. No-op on a nil receiver.
+func (cv *CounterVec) Add(slot int, n uint64) {
+	if cv != nil {
+		cv.v[slot] += n
+	}
+}
+
+// Value reports slot's count (0 on a nil receiver).
+func (cv *CounterVec) Value(slot int) uint64 {
+	if cv == nil {
+		return 0
+	}
+	return cv.v[slot]
+}
+
+// Len reports the number of slots (0 on a nil receiver).
+func (cv *CounterVec) Len() int {
+	if cv == nil {
+		return 0
+	}
+	return len(cv.v)
+}
+
+// gauge is a read-only probe evaluated at snapshot time on the simulation
+// goroutine. Gauges are how the registry observes state owned by other
+// layers (heap depth, pool stats, queue depths) without those layers
+// importing obs.
+type gauge struct {
+	name  string
+	probe func() float64
+}
+
+// Histogram accumulates observations into fixed buckets chosen at
+// registration. Observe is allocation-free; a nil receiver observes
+// nothing. Bounds are inclusive upper edges in ascending order; one
+// overflow bucket catches everything beyond the last bound.
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += x
+	h.n++
+}
+
+// Count reports the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum reports the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds one scenario's metrics. It is not safe for concurrent
+// use: registration and every increment happen on the simulation
+// goroutine, exactly like the rest of a scenario's state. Live servers
+// never touch a Registry — they read immutable Snapshots published
+// through an atomic pointer.
+type Registry struct {
+	counters []*Counter
+	vecs     []*CounterVec
+	gauges   []gauge
+	hists    []*Histogram
+	names    map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// reserve claims a metric name, panicking on duplicates: two layers
+// silently sharing a name would make the snapshot lie about both.
+func (r *Registry) reserve(name string) {
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+}
+
+// Counter registers and returns a named counter. A nil registry returns a
+// nil counter, whose methods are no-ops — callers can thread the result
+// into hot paths without caring whether metrics are enabled.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.reserve(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// CounterVec registers a dense-slot counter family: one counter per
+// label, addressed by the label's index. Snapshot names each member
+// "<prefix>.<label>". A nil registry returns nil (all methods no-ops).
+func (r *Registry) CounterVec(prefix string, labels []string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	for _, l := range labels {
+		r.reserve(prefix + "." + l)
+	}
+	cv := &CounterVec{
+		prefix: prefix,
+		labels: append([]string(nil), labels...),
+		v:      make([]uint64, len(labels)),
+	}
+	r.vecs = append(r.vecs, cv)
+	return cv
+}
+
+// Gauge registers a probe evaluated at snapshot time. The probe runs on
+// the simulation goroutine and must only read state. No-op on a nil
+// registry.
+func (r *Registry) Gauge(name string, probe func() float64) {
+	if r == nil {
+		return
+	}
+	r.reserve(name)
+	r.gauges = append(r.gauges, gauge{name: name, probe: probe})
+}
+
+// Histogram registers a fixed-bucket histogram with the given ascending
+// inclusive upper bounds. A nil registry returns nil (Observe no-ops).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+	}
+	r.reserve(name)
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists = append(r.hists, h)
+	return h
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ezflow/internal/sim"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Counter.Value = %d, want 5", got)
+	}
+	cv := r.CounterVec("fam", []string{"x", "y", "z"})
+	cv.Inc(1)
+	cv.Add(2, 7)
+	if cv.Len() != 3 || cv.Value(0) != 0 || cv.Value(1) != 1 || cv.Value(2) != 7 {
+		t.Fatalf("CounterVec slots = [%d %d %d] (len %d), want [0 1 7] len 3",
+			cv.Value(0), cv.Value(1), cv.Value(2), cv.Len())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every increment/read path must be a no-op on nil receivers: this is
+	// the disabled-observability contract the hot paths rely on.
+	var r *Registry
+	c := r.Counter("x")
+	cv := r.CounterVec("y", []string{"a"})
+	h := r.Histogram("z", []float64{1})
+	r.Gauge("g", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	cv.Inc(0)
+	cv.Add(0, 3)
+	h.Observe(0.5)
+	var fr *FlightRecorder
+	fr.Record(0, KindEnqueue, CauseNone, 1, 2, 1, 0)
+	if c != nil || cv != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if c.Value() != 0 || cv.Value(0) != 0 || cv.Len() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if fr.Total() != 0 || fr.Overwritten() != 0 || fr.Events() != nil {
+		t.Fatal("nil recorder must read as empty")
+	}
+	if s := (*Registry)(nil).Snapshot(0); s != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var s *Snapshot
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("nil snapshot Get must miss")
+	}
+	if s.Sum("x") != 0 {
+		t.Fatal("nil snapshot Sum must be 0")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"counter":   func(r *Registry) { r.Counter("dup") },
+		"vec":       func(r *Registry) { r.CounterVec("vec", []string{"a", "a"}) },
+		"gauge":     func(r *Registry) { r.Gauge("dup", func() float64 { return 0 }) },
+		"histogram": func(r *Registry) { r.Histogram("dup", []float64{1}) },
+	}
+	for name, reg := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("dup")
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s reusing a name must panic", name)
+				}
+			}()
+			reg(r)
+		})
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", []float64{1, 10})
+	for _, x := range []float64{0.5, 1, 1.5, 10, 11, 100} {
+		h.Observe(x)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 124 {
+		t.Fatalf("Sum = %g, want 124", h.Sum())
+	}
+	s := r.Snapshot(0)
+	// Bounds are inclusive upper edges; _le_ series is cumulative.
+	for name, want := range map[string]float64{
+		"d_count": 6, "d_sum": 124, "d_le_1": 2, "d_le_10": 4,
+	} {
+		if got, ok := s.Get(name); !ok || got != want {
+			t.Errorf("%s = %g (found %v), want %g", name, got, ok, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds must panic")
+		}
+	}()
+	r.Histogram("bad", []float64{2, 1})
+}
+
+func TestSnapshotOrderingAndLookup(t *testing.T) {
+	// Register deliberately out of name order, across all four metric
+	// types; the snapshot must come out sorted regardless.
+	r := NewRegistry()
+	r.Gauge("z.gauge", func() float64 { return 9 })
+	r.Counter("m.count").Add(3)
+	r.CounterVec("a.vec", []string{"n2", "n1"}).Inc(0)
+	r.Histogram("q.hist", []float64{5}).Observe(2)
+	s := r.Snapshot(sim.FromSeconds(1.5))
+	if s.AtSec != 1.5 {
+		t.Fatalf("AtSec = %g, want 1.5", s.AtSec)
+	}
+	for i := 1; i < len(s.Metrics); i++ {
+		if s.Metrics[i-1].Name >= s.Metrics[i].Name {
+			t.Fatalf("metrics not strictly sorted: %q before %q",
+				s.Metrics[i-1].Name, s.Metrics[i].Name)
+		}
+	}
+	if v, ok := s.Get("a.vec.n2"); !ok || v != 1 {
+		t.Fatalf("Get(a.vec.n2) = %g, %v; want 1, true", v, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) must miss")
+	}
+	if got := s.Sum("a.vec."); got != 1 {
+		t.Fatalf("Sum(a.vec.) = %g, want 1", got)
+	}
+
+	// Two registries built in different orders serialize identically.
+	r2 := NewRegistry()
+	r2.Histogram("q.hist", []float64{5}).Observe(2)
+	r2.CounterVec("a.vec", []string{"n2", "n1"}).Inc(0)
+	r2.Counter("m.count").Add(3)
+	r2.Gauge("z.gauge", func() float64 { return 9 })
+	b1, _ := json.Marshal(s)
+	b2, _ := json.Marshal(r2.Snapshot(sim.FromSeconds(1.5)))
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("registration order leaked into snapshot bytes:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one").Inc()
+	s := r.Snapshot(sim.Second)
+	var jb, tb bytes.Buffer
+	if err := s.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if err := s.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "one 1\n") {
+		t.Fatalf("WriteText output missing metric line:\n%s", tb.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"ezflow/internal/obs"
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
 )
@@ -182,15 +183,50 @@ type Channel struct {
 
 	// Stats counts channel-level events for tests and experiments.
 	Stats ChannelStats
+
+	// obs holds the optional per-station counter families; all-nil (the
+	// default) costs one branch per increment site. See SetCounters.
+	obs Counters
 }
 
 // ChannelStats aggregates medium-level counters.
 type ChannelStats struct {
+	// Transmissions counts frames put on the air.
 	Transmissions uint64
-	Decoded       uint64
-	Collisions    uint64
-	Erasures      uint64
+	// Decoded counts successful receptions (per receiver).
+	Decoded uint64
+	// Collisions counts decodable receptions destroyed by interference
+	// (per receiver).
+	Collisions uint64
+	// Erasures counts decodable receptions lost to link loss or a severed
+	// link (per receiver).
+	Erasures uint64
+	// Captures counts decodable locked receptions that survived an
+	// overlapping transmission through the capture effect (per receiver,
+	// per surviving overlap).
+	Captures uint64
 }
+
+// Counters bundles the observability layer's per-station counter
+// families, each indexed by PHY station slot (ascending node id — the
+// order NodeIDs reports). Tx counts at the transmitter's slot;
+// Collisions, Captures and Erasures count at the receiver's. Any field
+// may be nil; SetCounters with the zero value detaches everything.
+type Counters struct {
+	// Tx counts transmissions per transmitting station.
+	Tx *obs.CounterVec
+	// Collisions counts destroyed decodable receptions per receiver.
+	Collisions *obs.CounterVec
+	// Captures counts capture-effect survivals per receiver.
+	Captures *obs.CounterVec
+	// Erasures counts link-loss/severed-link erasures per receiver.
+	Erasures *obs.CounterVec
+}
+
+// SetCounters attaches per-station counter families (see Counters).
+// Counting writes only into the families, so attaching them cannot
+// change simulation behaviour.
+func (c *Channel) SetCounters(k Counters) { c.obs = k }
 
 type linkKey struct{ a, b pkt.NodeID }
 
@@ -356,6 +392,9 @@ func (c *Channel) TransmitFrom(sn *Station, f *pkt.Frame) sim.Time {
 	tx.flightIdx = len(c.flight)
 	c.flight = append(c.flight, tx)
 	c.Stats.Transmissions++
+	if c.obs.Tx != nil {
+		c.obs.Tx.Inc(int(sn.slot))
+	}
 	c.busyTx[sn.slot] = true
 	// The channel holds its own reference to a data frame's payload for
 	// the duration of the flight: the transmitter may drop the packet
@@ -393,8 +432,18 @@ func (c *Channel) TransmitFrom(sn *Station, f *pkt.Frame) sim.Time {
 			if rx.signal < cr*lk.power {
 				if !rx.corrupted && rx.decodable {
 					c.Stats.Collisions++
+					if c.obs.Collisions != nil {
+						c.obs.Collisions.Inc(int(slot))
+					}
 				}
 				rx.corrupted = true
+			} else if !rx.corrupted && rx.decodable {
+				// The locked frame rides out the new interference: the
+				// capture effect the paper's ns-2 model (CPThresh) allows.
+				c.Stats.Captures++
+				if c.obs.Captures != nil {
+					c.obs.Captures.Inc(int(slot))
+				}
 			}
 		case lk.inCS:
 			// Idle receiver locks onto the first frame it senses, even
@@ -415,8 +464,17 @@ func (c *Channel) TransmitFrom(sn *Station, f *pkt.Frame) sim.Time {
 					rx.corrupted = true
 					if rx.decodable {
 						c.Stats.Collisions++
+						if c.obs.Collisions != nil {
+							c.obs.Collisions.Inc(int(slot))
+						}
 					}
 					break
+				}
+				if rx.decodable {
+					c.Stats.Captures++
+					if c.obs.Captures != nil {
+						c.obs.Captures.Inc(int(slot))
+					}
 				}
 			}
 		}
@@ -463,11 +521,17 @@ func (c *Channel) finish(tx *transmission) {
 			// draw, so it leaves the RNG stream untouched).
 			if lk.down {
 				c.Stats.Erasures++
+				if c.obs.Erasures != nil {
+					c.obs.Erasures.Inc(int(slot))
+				}
 				continue
 			}
 			// Apply per-link erasures (testbed link quality model).
 			if p := lk.loss; p > 0 && c.eng.Chance(p) {
 				c.Stats.Erasures++
+				if c.obs.Erasures != nil {
+					c.obs.Erasures.Inc(int(slot))
+				}
 				continue
 			}
 			c.deliver(c.order[slot], tx.frame)

@@ -95,6 +95,7 @@ func (t Timer) Cancel() {
 	}
 	en := e.engine
 	en.queue.remove(int(e.index))
+	en.cancelled++
 	en.release(e)
 }
 
@@ -211,6 +212,9 @@ type Engine struct {
 	halted bool
 	fired  uint64
 	free   []*event // recycled events; Schedule pops here before allocating
+	// cancelled sits after the hot fields: only Timer.Cancel and the
+	// observability gauges touch it.
+	cancelled uint64
 }
 
 // NewEngine returns an engine whose random generator is seeded with seed.
@@ -226,6 +230,14 @@ func (en *Engine) Rand() *rand.Rand { return en.rng }
 
 // Fired reports how many events have executed so far.
 func (en *Engine) Fired() uint64 { return en.fired }
+
+// Scheduled reports how many events have ever been scheduled (the
+// engine's monotone sequence counter).
+func (en *Engine) Scheduled() uint64 { return en.seq }
+
+// Cancelled reports how many scheduled events were cancelled before
+// firing.
+func (en *Engine) Cancelled() uint64 { return en.cancelled }
 
 // Pending reports how many events are queued.
 func (en *Engine) Pending() int { return len(en.queue) }

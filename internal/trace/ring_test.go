@@ -70,6 +70,58 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// TestRecorderStopFlushesPartialRing runs long enough for one full ring
+// flush and then stops mid-block: Stop must drain the partial ring, so
+// the series holds every sample exactly once, in time order.
+func TestRecorderStopFlushesPartialRing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := NewRecorder(eng, "probe", sim.Second, func() float64 { return 1 })
+	total := DefaultRingSize + 44 // one in-run flush plus a partial block
+	eng.Run(sim.Time(total) * sim.Second)
+	if rec.Series.Len() != DefaultRingSize {
+		// Exactly one in-run flush: the ring drains lazily when the
+		// overflowing append arrives, leaving the 44-sample tail buffered.
+		t.Fatalf("pre-Stop samples = %d, want %d", rec.Series.Len(), DefaultRingSize)
+	}
+	rec.Stop()
+	if rec.Series.Len() != total {
+		t.Fatalf("post-Stop samples = %d, want %d", rec.Series.Len(), total)
+	}
+	for i, p := range rec.Series.Points {
+		if p.T != sim.Time(i+1)*sim.Second {
+			t.Fatalf("sample %d out of order: %+v", i, p)
+		}
+	}
+	rec.Stop() // idempotent: a second Stop must not duplicate samples
+	if rec.Series.Len() != total {
+		t.Fatalf("second Stop changed the series: %d", rec.Series.Len())
+	}
+}
+
+// TestRecorderRegisteredAfterStart creates the recorder once the engine
+// has already advanced: sampling must begin one period after attachment,
+// not at virtual time zero.
+func TestRecorderRegisteredAfterStart(t *testing.T) {
+	eng := sim.NewEngine(1)
+	eng.ScheduleFunc(0, func() {}) // keep the clock event-driven
+	eng.Run(5 * sim.Second)
+	if eng.Now() != 5*sim.Second {
+		t.Fatalf("engine clock = %v, want 5s", eng.Now())
+	}
+	rec := NewRecorder(eng, "late", sim.Second, func() float64 { return float64(eng.Now() / sim.Second) })
+	eng.Run(10 * sim.Second)
+	rec.Stop()
+	if rec.Series.Len() != 5 {
+		t.Fatalf("late recorder samples = %d, want 5", rec.Series.Len())
+	}
+	for i, p := range rec.Series.Points {
+		wantT := sim.Time(6+i) * sim.Second
+		if p.T != wantT || p.V != float64(6+i) {
+			t.Fatalf("late sample %d = %+v, want t=%v v=%d", i, p, wantT, 6+i)
+		}
+	}
+}
+
 // TestRecorderSteadyStateAllocs: appends between flushes are free, and a
 // whole run allocates only O(n/ringsize) block growths.
 func TestRecorderSteadyStateAllocs(t *testing.T) {
