@@ -37,16 +37,19 @@ staticcheck:
 # bench runs the hot-path benchmarks guarding the simulator core — the
 # end-to-end chain and large-topology scenarios, the event-queue
 # micro-benchmarks, the PHY transmission path, the controller hot hooks
-# (OnOverhear/OnDequeue, pinned at zero allocs), and the observability
+# (OnOverhear/OnDequeue, pinned at zero allocs), the observability
 # instruments (counter/vec/histogram/flight-record increments plus the
-# disabled nil-receiver hooks, all pinned at zero allocs) — gates them
-# against the committed baseline (BENCH_PR5.json; >25% ns/op or
-# allocs/op regression fails, zero-alloc pins fail on any alloc),
-# archives the fresh run as BENCH_PR6.json (uploaded as a CI artifact,
+# disabled nil-receiver hooks, all pinned at zero allocs), and the
+# routing strategies (pure route-computation cost per registry entry
+# plus the lossy-disk rerun per strategy) — gates them against the
+# committed baseline (BENCH_PR6.json; >25% allocs/op regression fails,
+# zero-alloc pins fail on any alloc, ns/op gets a wider 2x band
+# because the archived baseline was recorded on a different host),
+# archives the fresh run as BENCH_PR7.json (uploaded as a CI artifact,
 # committed when the recorded trajectory changes), and prints the
 # speedup table.
 bench:
-	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput|^BenchmarkGrid100Run$$|^BenchmarkRandomDisk200Run$$|^BenchmarkDiskScaling$$' \
+	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput|^BenchmarkGrid100Run$$|^BenchmarkRandomDisk200Run$$|^BenchmarkDiskScaling$$|^BenchmarkRouting|^BenchmarkDiskScalingRouting$$' \
 	    -benchmem -run='^$$' -benchtime=20x . | tee /tmp/bench.out
 	$(GO) test -bench='^BenchmarkEngine' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/sim | tee -a /tmp/bench.out
@@ -56,10 +59,10 @@ bench:
 	    ./internal/ctl | tee -a /tmp/bench.out
 	$(GO) test -bench='^BenchmarkObs' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/obs | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson -baseline BENCH_PR5.json -tolerance 0.25 \
-	    < /tmp/bench.out > BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
-	$(GO) run ./tools/benchjson -compare BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./tools/benchjson -baseline BENCH_PR6.json -tolerance 0.25 -ns-tolerance 1.0 \
+	    < /tmp/bench.out > BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
+	$(GO) run ./tools/benchjson -compare BENCH_PR6.json BENCH_PR7.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).

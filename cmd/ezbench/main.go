@@ -4,7 +4,8 @@
 // Table 3), and the §6 Theorem 1 random-walk analysis — plus the
 // extension experiments (hopsweep, tree, rtscts, bidir, the
 // fault-injection stability experiment, the large-topology scale sweep,
-// and the congestion-controller head-to-head `-exp controllers`; see
+// the congestion-controller head-to-head `-exp controllers`, and the
+// routing-strategy cross product on lossy disks `-exp routing`; see
 // docs/PAPER_MAP.md).
 //
 // Usage:
@@ -57,6 +58,7 @@ var experiments = []struct {
 	{"stability", func(o exp.Options) *exp.Report { return &exp.Stability(o).Report }},
 	{"scale", func(o exp.Options) *exp.Report { return &exp.Scale(o).Report }},
 	{"controllers", func(o exp.Options) *exp.Report { return &exp.Controllers(o).Report }},
+	{"routing", func(o exp.Options) *exp.Report { return &exp.Routing(o).Report }},
 }
 
 // aliases lets users name experiments by the figure/table they regenerate.

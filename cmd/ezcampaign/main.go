@@ -17,11 +17,19 @@
 //	ezcampaign -scenario linkfailure.json -sweep mode=802.11,ezflow -reps 5
 //	ezcampaign -sweep controller=staticcap,backpressure,feedback,ezflow \
 //	           -sweep flap=0,1 -reps 10
+//	ezcampaign -sweep routing=bfs,etx,kshortest -sweep mode=802.11,ezflow \
+//	           -reps 5
 //
 // The controller axis sweeps the congestion-controller registry
 // (internal/ctl) head to head — any registered name plus 802.11 for the
 // raw baseline; it subsumes (and is mutually exclusive with) the mode
 // axis. `ezcampaign -h` enumerates the registered controllers.
+//
+// The routing axis sweeps the routing-strategy registry
+// (internal/routing) the same way: bfs (minimum hop count, the default),
+// etx (link-quality cost over the calibrated per-link losses), kshortest
+// (deterministic multipath spreading). Strategies other than bfs
+// recompute every route at wiring and drive route repair under dynamics.
 //
 // The fault-injection axes flap and churn (values 0|1) sever the first
 // flow's middle link, respectively halt its middle relay, from 40% to 50%
@@ -79,7 +87,7 @@ func (s *sweepFlags) Set(v string) error {
 
 func main() {
 	var sweeps sweepFlags
-	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; integer ranges like 2..8 expand); axes: topology (chain|testbed|scenario1|scenario2|tree|grid|random) | mode | controller ("+strings.Join(ezflow.Controllers(), "|")+"|802.11; head-to-head over the controller registry) | hops (chain length / grid side) | rate | cap | nodes (random-disk size) | flap (0|1 mid-run link failure) | churn (0|1 mid-run relay outage)")
+	flag.Var(&sweeps, "sweep", "swept axis as axis=v1,v2,... (repeatable; integer ranges like 2..8 expand); axes: topology (chain|testbed|scenario1|scenario2|tree|grid|random) | mode | controller ("+strings.Join(ezflow.Controllers(), "|")+"|802.11; head-to-head over the controller registry) | routing ("+strings.Join(ezflow.Routings(), "|")+"; head-to-head over the routing registry) | hops (chain length / grid side) | rate | cap | nodes (random-disk size) | flap (0|1 mid-run link failure) | churn (0|1 mid-run relay outage)")
 	var (
 		name     = flag.String("name", "campaign", "campaign name for the report")
 		scenFile = flag.String("scenario", "", "JSON scenario file replacing the built-in topologies (fixes topology; its duration wins)")

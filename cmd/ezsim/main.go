@@ -24,6 +24,13 @@
 // (explicit rate-feedback control frames), and staticcap (fixed per-hop
 // window).
 //
+// -routing selects a routing strategy from the internal/routing registry:
+// bfs (minimum hop count, the default — byte-identical to the builder's
+// installed routes), etx (expected-transmission-count link quality over
+// the calibrated per-link losses), or kshortest (deterministic k-shortest
+// multipath with per-flow path spreading). Non-default strategies
+// recompute every route at wiring and drive route repair under dynamics.
+//
 // Observability (see internal/obs and "Inspecting a run" in README.md):
 // -obs serves live metrics, progress and pprof over HTTP while the run
 // executes (with -obs-hold keeping the endpoint up afterwards);
@@ -51,6 +58,7 @@ import (
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/ctl"
 	"ezflow/internal/plot"
+	"ezflow/internal/routing"
 	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
 	"ezflow/internal/trace"
@@ -65,8 +73,10 @@ func main() {
 		gridH    = flag.Int("grid-h", 4, "grid height for -topology grid")
 		nodes    = flag.Int("nodes", 12, "node count for -topology random")
 		radius   = flag.Float64("radius", 0, "disk radius in metres for -topology random (0 = auto)")
+		edgeLoss = flag.Float64("edge-loss", 0, "edge-of-range loss ceiling in [0,1) for -topology random (0 = loss-free links)")
 		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
 		ctlName  = flag.String("controller", "", "congestion controller from the registry, overriding -mode: "+strings.Join(ezflow.Controllers(), "|")+" (or 802.11 for none); registered controllers:\n"+ezflow.ControllerUsage())
+		routName = flag.String("routing", "", "routing strategy from the registry: "+strings.Join(ezflow.Routings(), "|")+" (empty = bfs, the builder's minimum-hop routes); registered strategies:\n"+ezflow.RoutingUsage())
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		rate     = flag.Float64("rate", 2e6, "per-flow CBR rate in bit/s")
@@ -87,11 +97,14 @@ func main() {
 	if err := validateController(*ctlName); err != nil {
 		fatalf("%v", err)
 	}
+	if err := validateRouting(*routName); err != nil {
+		fatalf("%v", err)
+	}
 
 	if *scenFile != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runScenarioFile(*scenFile, set, *mode, *ctlName, *seed, *duration, *cap, *traceDir, *doPlot, &o)
+		runScenarioFile(*scenFile, set, *mode, *ctlName, *routName, *seed, *duration, *cap, *traceDir, *doPlot, &o)
 		return
 	}
 
@@ -119,6 +132,7 @@ func main() {
 			cfg.Controller = *ctlName
 		}
 	}
+	cfg.Routing = *routName
 
 	var sc *ezflow.Scenario
 	switch *topology {
@@ -152,11 +166,14 @@ func main() {
 		if *nodes < 2 {
 			fatalf("random needs -nodes >= 2 (got %d)", *nodes)
 		}
+		if *edgeLoss < 0 || *edgeLoss >= 1 {
+			fatalf("-edge-loss %g out of [0,1)", *edgeLoss)
+		}
 		// RandomDisk panics when no connected placement exists (radius too
 		// large for the transmission range); surface that as a clean CLI
 		// error rather than a stack trace.
 		sc = buildOrFail(func() *ezflow.Scenario {
-			return ezflow.NewRandom(*nodes, *radius, cfg,
+			return ezflow.NewRandomLossy(*nodes, *radius, *edgeLoss, cfg,
 				ezflow.FlowSpec{Flow: 1, RateBps: *rate})
 		})
 	default:
@@ -188,10 +205,23 @@ func validateController(name string) error {
 	return fmt.Errorf("unknown controller %q (registered: %s)", name, strings.Join(ezflow.Controllers(), ", "))
 }
 
+// validateRouting rejects routing-strategy names absent from the registry
+// (empty selects the default minimum-hop routes).
+func validateRouting(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, ok := routing.ByName(name); ok {
+		return nil
+	}
+	return fmt.Errorf("unknown routing strategy %q (registered: %s)", name, strings.Join(ezflow.Routings(), ", "))
+}
+
 // runScenarioFile executes a declarative scenario file, letting -mode,
-// -controller, -seed, -duration and -cap override the file when passed
-// explicitly (set holds the names of flags present on the command line).
-func runScenarioFile(path string, set map[string]bool, mode, ctlName string, seed int64,
+// -controller, -routing, -seed, -duration and -cap override the file when
+// passed explicitly (set holds the names of flags present on the command
+// line).
+func runScenarioFile(path string, set map[string]bool, mode, ctlName, routName string, seed int64,
 	durationSec float64, cwCap int, traceDir string, doPlot bool, o *obsOpts) {
 	spec, err := scenario.Load(path)
 	if err != nil {
@@ -207,6 +237,9 @@ func runScenarioFile(path string, set map[string]bool, mode, ctlName string, see
 		if ctl.IsNone(ctlName) {
 			spec.Controller = "" // plain 802.11: no controller at all
 		}
+	}
+	if set["routing"] {
+		spec.Routing = routName
 	}
 	if set["seed"] {
 		spec.Seed = seed
@@ -241,12 +274,16 @@ func runScenarioFile(path string, set map[string]bool, mode, ctlName string, see
 }
 
 func printSummary(res *ezflow.Result) {
+	rt := ""
+	if res.Cfg.Routing != "" {
+		rt = " routing=" + res.Cfg.Routing
+	}
 	if res.Cfg.Controller != "" {
-		fmt.Printf("controller=%s duration=%v seed=%d\n", res.Cfg.Controller,
-			res.Cfg.Duration, res.Cfg.Seed)
+		fmt.Printf("controller=%s%s duration=%v seed=%d\n", res.Cfg.Controller,
+			rt, res.Cfg.Duration, res.Cfg.Seed)
 	} else {
-		fmt.Printf("mode=%v duration=%v seed=%d\n", res.Cfg.Mode,
-			res.Cfg.Duration, res.Cfg.Seed)
+		fmt.Printf("mode=%v%s duration=%v seed=%d\n", res.Cfg.Mode,
+			rt, res.Cfg.Duration, res.Cfg.Seed)
 	}
 	var flows []ezflow.FlowID
 	for f := range res.Flows {

@@ -1,0 +1,67 @@
+// Routing-strategy walkthrough: the same 200-node lossy random disk
+// under every registered strategy, showing why minimum-hop routing
+// collapses at scale and link-quality routing does not.
+//
+// The scenario is the shipped randomdisk.json — the same format
+// `ezsim -scenario file.json` accepts — a constant-density disk whose
+// edge-of-range links lose up to half their frames (the regime real
+// 802.11 meshes operate in; paper §5 measures throughput collapsing
+// as the disk grows). Minimum-hop BFS loves exactly those long lossy
+// links, so its rim flow retransmits its way to a fraction of the
+// deliverable rate. ETX weighs each link by its expected transmission
+// count and detours through shorter, cleaner hops; k-shortest keeps
+// the minimum-hop metric but spreads flows over the top-K paths.
+//
+// Run it:
+//
+//	go run ./examples/routing
+//
+// The same experiment from the CLI:
+//
+//	go run ./cmd/ezsim -scenario examples/routing/randomdisk.json -routing etx
+//
+// and the full cross product (strategy x mode x disk size):
+//
+//	go run ./cmd/ezbench -exp routing
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+
+	"ezflow/internal/scenario"
+)
+
+// specJSON is the shipped scenario file itself, embedded so this program
+// and `ezsim -scenario examples/routing/randomdisk.json` can never
+// drift apart.
+//
+//go:embed randomdisk.json
+var specJSON string
+
+func main() {
+	fmt.Println("200-node lossy random disk, one saturating rim flow:")
+	for _, routing := range []string{"bfs", "etx", "kshortest"} {
+		spec, err := scenario.Parse([]byte(specJSON))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec.Routing = routing
+		sc, err := spec.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		hops := len(sc.Mesh.Route(1)) - 1
+		res := sc.Run()
+		fr := res.Flows[1]
+		fmt.Printf("%-10s  %d hops   %7.1f kb/s   delay %6.3fs   delivered %d\n",
+			routing, hops, fr.MeanThroughputKbps, fr.MeanDelaySec, fr.Delivered)
+	}
+	fmt.Println("\nSame disk, same seed, same flow — only the route differs. Sweep")
+	fmt.Println("strategies head-to-head across seeds with:")
+	fmt.Println("  go run ./cmd/ezcampaign -scenario examples/routing/randomdisk.json \\")
+	fmt.Println("      -sweep routing=bfs,etx,kshortest -reps 5")
+}

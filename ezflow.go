@@ -45,6 +45,7 @@ import (
 	"ezflow/internal/obs"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
+	"ezflow/internal/routing"
 	"ezflow/internal/sim"
 	"ezflow/internal/stats"
 	"ezflow/internal/trace"
@@ -130,6 +131,15 @@ func Controllers() []string { return ctl.Names() }
 // controller for CLI help text.
 func ControllerUsage() string { return ctl.Usage() }
 
+// Routings returns the names of every registered routing strategy, sorted
+// — the values Config.Routing, scenario files, the campaign "routing"
+// axis and the ezsim -routing flag accept (see internal/routing).
+func Routings() []string { return routing.Names() }
+
+// RoutingUsage renders one "name — summary" line per registered routing
+// strategy for CLI help text.
+func RoutingUsage() string { return routing.Usage() }
+
 // Config parameterises a scenario run.
 type Config struct {
 	Seed     int64
@@ -148,6 +158,17 @@ type Config struct {
 	// penalty fields are overridden by the top-level EZ/PenaltyQ/
 	// PenaltyRelayCW settings below, which remain the source of truth.
 	Ctl ctl.Options
+
+	// Routing selects a routing strategy from the internal/routing
+	// registry by name (see Routings()). Empty or "bfs" keeps the default
+	// minimum-hop behaviour, byte-identical to configurations that predate
+	// the registry: builder-installed routes stay exactly as constructed
+	// and only dynamics route repair runs the strategy. Any other name
+	// ("etx", "kshortest") additionally recomputes every installed route
+	// at wiring, so link-quality and multipath strategies take effect
+	// before traffic starts. Unknown names panic at scenario wiring — the
+	// CLI and scenario layers validate before building.
+	Routing string
 
 	// PHY/MAC parameters; zero values select the paper's defaults
 	// (802.11b at 1 Mb/s, 250/550 m ranges, CWmin 32, 50-packet queues).
@@ -382,9 +403,20 @@ func NewGrid(w, h int, cfg Config, flows ...FlowSpec) *Scenario {
 // radius <= 0 selects mesh.DefaultDiskRadius(n). The same (n, radius,
 // cfg.Seed) always yields the identical topology.
 func NewRandom(n int, radius float64, cfg Config, flows ...FlowSpec) *Scenario {
+	return NewRandomLossy(n, radius, 0, cfg, flows...)
+}
+
+// NewRandomLossy builds the same scenario as NewRandom over a disk with
+// an edge-of-range loss model: every link of length d beyond half the
+// transmission range erases with probability ramping quadratically up to
+// edgeLoss at the range limit (mesh.ApplyEdgeLoss), the heterogeneous
+// link quality real deployments measure. edgeLoss 0 is exactly NewRandom.
+// Pair it with Config.Routing "etx" to let link-quality routing route
+// around the marginal links the default minimum-hop path happily crosses.
+func NewRandomLossy(n int, radius, edgeLoss float64, cfg Config, flows ...FlowSpec) *Scenario {
 	fillDefaults(&cfg)
 	eng := sim.NewEngine(cfg.Seed)
-	m := mesh.RandomDisk(eng, n, radius, cfg.Seed, cfg.PHY, cfg.MAC)
+	m := mesh.RandomDiskLossy(eng, n, radius, cfg.Seed, edgeLoss, cfg.PHY, cfg.MAC)
 	return wire(cfg, eng, m, defaultFlows(m, flows))
 }
 
@@ -401,6 +433,27 @@ func defaultFlows(m *mesh.Mesh, flows []FlowSpec) []FlowSpec {
 }
 
 func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario {
+	// Routing strategy, resolved through the internal/routing registry
+	// before anything observes the mesh (controller deployments and
+	// dynamics read the installed routes). The default ("" or "bfs") keeps
+	// the builder-installed minimum-hop routes untouched — byte-identical
+	// to the pre-registry simulator — and only drives later route repair;
+	// any other strategy recomputes every route now, against the
+	// calibrated link losses, so it shapes the run from t=0.
+	if name := cfg.Routing; name != "" {
+		info, ok := routing.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("ezflow: unknown routing strategy %q (registered: %s)",
+				name, strings.Join(routing.Names(), ", ")))
+		}
+		m.SetStrategy(info.New(routing.DefaultOptions()))
+		if !routing.IsDefault(name) {
+			if err := m.RecomputeRoutes(); err != nil {
+				panic(fmt.Sprintf("ezflow: %v", err))
+			}
+		}
+	}
+
 	sc := &Scenario{
 		Cfg:         cfg,
 		Eng:         eng,

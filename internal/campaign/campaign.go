@@ -13,7 +13,8 @@
 // outcome through pluggable sinks (human-readable report, JSON, CSV).
 // The controller axis additionally sweeps the congestion-controller
 // registry (internal/ctl), so head-to-head controller comparisons are one
-// sweep away.
+// sweep away; the routing axis does the same for the routing-strategy
+// registry (internal/routing).
 //
 // Determinism: every run's seed is derived purely from (base seed, point
 // label, replication index) by DeriveSeed, and results are collected by
@@ -34,6 +35,7 @@ import (
 	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
 	"ezflow/internal/obs"
+	"ezflow/internal/routing"
 	"ezflow/internal/scenario"
 	"ezflow/internal/stats"
 )
@@ -86,10 +88,11 @@ func (s Spec) sweeps(name string) bool {
 // (chain|testbed|scenario1|scenario2|tree|grid|random), "mode"
 // (802.11|ezflow|penalty|diffq), "controller" (any registered congestion
 // controller — see ctl.Names() — plus 802.11|off|none for the raw
-// baseline; mutually exclusive with the mode axis), "hops" (chain length;
-// also the side of a grid topology, clamped to >= 2), "rate" (bit/s),
-// "cap" (hardware CWmin cap, 0 = none), "nodes" (node count of the random
-// topology, whose placement is seeded per replication), and the
+// baseline; mutually exclusive with the mode axis), "routing" (any
+// registered routing strategy — see routing.Names()), "hops" (chain
+// length; also the side of a grid topology, clamped to >= 2), "rate"
+// (bit/s), "cap" (hardware CWmin cap, 0 = none), "nodes" (node count of
+// the random topology, whose placement is seeded per replication), and the
 // fault-injection axes "flap" and "churn" (0|1): flap=1 severs the first
 // flow's middle link for a tenth of the run starting at 40%, churn=1
 // halts its middle relay over the same window, both with BFS route
@@ -108,9 +111,9 @@ func ParseSweep(s string) (Axis, error) {
 	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	switch name {
-	case "topology", "mode", "controller", "hops", "rate", "cap", "nodes", "flap", "churn":
+	case "topology", "mode", "controller", "routing", "hops", "rate", "cap", "nodes", "flap", "churn":
 	default:
-		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|controller|hops|rate|cap|nodes|flap|churn)", name)
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|controller|routing|hops|rate|cap|nodes|flap|churn)", name)
 	}
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
@@ -156,6 +159,9 @@ type Point struct {
 	// Controller is the registry controller deployed at this point; empty
 	// derives the control plane from Mode, "802.11" pins the raw baseline.
 	Controller string `json:"controller,omitempty"`
+	// Routing is the registry routing strategy at this point; empty keeps
+	// the topology builder's minimum-hop routes (the "bfs" default).
+	Routing string `json:"routing,omitempty"`
 	// Flap and Churn are the fault-injection axes.
 	Flap  bool `json:"flap,omitempty"`
 	Churn bool `json:"churn,omitempty"`
@@ -189,6 +195,12 @@ func (p *Point) set(axis, value string) error {
 			}
 			p.Controller = v
 		}
+	case "routing":
+		v := strings.ToLower(value)
+		if _, ok := routing.ByName(v); !ok {
+			return fmt.Errorf("campaign: unknown routing strategy %q (registered: %s)", value, routing.NamesList())
+		}
+		p.Routing = v
 	case "hops":
 		n, err := strconv.Atoi(value)
 		if err != nil || n < 1 {
@@ -277,6 +289,12 @@ func (p Point) makeLabel() string {
 		}
 		b += fmt.Sprintf(" rate=%g", p.RateBps)
 	}
+	if p.Routing != "" {
+		// Only an explicitly swept/filed strategy reaches the label (and
+		// with it DeriveSeed) — points without one keep their pre-routing
+		// labels, so historical campaign seeds are unchanged.
+		b += fmt.Sprintf(" routing=%s", p.Routing)
+	}
 	if p.CWCap > 0 {
 		b += fmt.Sprintf(" cap=%d", p.CWCap)
 	}
@@ -352,7 +370,7 @@ func (s Spec) Enumerate() ([]Point, error) {
 		}
 		// RateBps 0 marks "rates come from the file" until the rate axis
 		// overrides it.
-		base = Point{Scenario: name, Mode: mode, Controller: s.Scenario.Controller, CWCap: s.Scenario.CWCap}
+		base = Point{Scenario: name, Mode: mode, Controller: s.Scenario.Controller, Routing: s.Scenario.Routing, CWCap: s.Scenario.CWCap}
 	}
 	points := []Point{base}
 	for _, ax := range s.Axes {
@@ -544,6 +562,9 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 		cfg.Mode = ezflow.Mode80211 // the raw baseline, pinned explicitly
 	default:
 		cfg.Controller = p.Controller
+	}
+	if p.Routing != "" {
+		cfg.Routing = p.Routing
 	}
 
 	sc := buildScenario(spec, p, cfg)

@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ezflow/internal/scenario"
+)
+
+// goldenRoutingSpec is the routing golden campaign: every registered
+// strategy crossed with both control planes over a 16-node lossy random
+// disk whose dynamics timeline forces two strategy-driven repairs (a
+// link flap and a node churn, both with reroute). The bfs column pins
+// the registry default byte-for-byte against the pre-registry simulator;
+// etx and kshortest pin the quality-aware strategies' full output.
+func goldenRoutingSpec(t *testing.T) Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_routing_scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Name:     "golden-routing",
+		Scenario: s,
+		Axes: []Axis{
+			{Name: "routing", Values: []string{"bfs", "etx", "kshortest"}},
+			{Name: "mode", Values: []string{"802.11", "ezflow"}},
+		},
+		Reps:     2,
+		BaseSeed: 13,
+	}
+}
+
+// runGoldenRouting executes the routing golden campaign at the given
+// worker count and returns the JSON and CSV sink outputs.
+func runGoldenRouting(t *testing.T, parallel int) (js, cs []byte) {
+	t.Helper()
+	eng := Engine{Parallel: parallel}
+	res, err := eng.Run(goldenRoutingSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb, cb bytes.Buffer
+	if err := (JSONSink{W: &jb}).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CSVSink{W: &cb}).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestGoldenRoutingCampaigns pins the routing axis byte-for-byte against
+// committed goldens at several worker counts, mirroring
+// TestGoldenDynamicsCampaigns. It is the acceptance test of the routing
+// registry: a single changed hop in any strategy's path — at wiring or
+// during a dynamics repair — changes delivered counts and fails this
+// test.
+//
+// Regenerate (only after an intentional behaviour change) with
+//
+//	EZFLOW_UPDATE_GOLDEN=1 go test ./internal/campaign -run GoldenRouting
+func TestGoldenRoutingCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	update := os.Getenv("EZFLOW_UPDATE_GOLDEN") != ""
+	jsonPath := filepath.Join("testdata", "golden_routing.json")
+	csvPath := filepath.Join("testdata", "golden_routing.csv")
+	if update {
+		js, cs := runGoldenRouting(t, 1)
+		if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, cs, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("updated routing goldens")
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4, 7} {
+		name := fmt.Sprintf("parallel=%d", parallel)
+		js, cs := runGoldenRouting(t, parallel)
+		if !bytes.Equal(js, wantJSON) {
+			t.Errorf("%s: JSON diverges from golden %s", name, jsonPath)
+		}
+		if !bytes.Equal(cs, wantCSV) {
+			t.Errorf("%s: CSV diverges from golden %s", name, csvPath)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// routingSpec sweeps the whole routing registry over the random-disk
+// topology in both control planes with two replications — the
+// determinism workload of the routing subsystem.
+func routingSpec() Spec {
+	return Spec{
+		Name: "routing-determinism",
+		Axes: []Axis{
+			{Name: "topology", Values: []string{"random"}},
+			{Name: "routing", Values: []string{"bfs", "etx", "kshortest"}},
+			{Name: "mode", Values: []string{"802.11", "ezflow"}},
+		},
+		Reps:        2,
+		BaseSeed:    7,
+		DurationSec: 20,
+	}
+}
+
+// TestRoutingCampaignDeterminism pins the routing axis to byte-identical
+// JSON and CSV output for any worker count — every strategy runs
+// concurrently with every other at parallel 4 and 7, so under -race this
+// doubles as the strategy-isolation test.
+func TestRoutingCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	emit := func(parallel int) (string, string) {
+		eng := Engine{Parallel: parallel}
+		res, err := eng.Run(routingSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb, cb bytes.Buffer
+		if err := (JSONSink{W: &jb}).Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		if err := (CSVSink{W: &cb}).Emit(res); err != nil {
+			t.Fatal(err)
+		}
+		return jb.String(), cb.String()
+	}
+	wantJSON, wantCSV := emit(1)
+	if !strings.Contains(wantJSON, "routing=etx") {
+		t.Fatalf("labels missing routing fragment:\n%.400s", wantJSON)
+	}
+	for _, parallel := range []int{4, 7} {
+		js, cs := emit(parallel)
+		if js != wantJSON {
+			t.Errorf("parallel=%d: JSON diverges from parallel=1", parallel)
+		}
+		if cs != wantCSV {
+			t.Errorf("parallel=%d: CSV diverges from parallel=1", parallel)
+		}
+	}
+}
+
+// TestRoutingAxisValidation covers the strict-validation satellite:
+// unknown strategies fail at enumeration with the registry listing.
+func TestRoutingAxisValidation(t *testing.T) {
+	if _, err := ParseSweep("routing=bfs,etx,kshortest"); err != nil {
+		t.Errorf("valid routing sweep rejected: %v", err)
+	}
+	ax, err := ParseSweep("routing=warp-drive")
+	if err != nil {
+		t.Fatalf("ParseSweep rejects values eagerly: %v", err)
+	}
+	s := Spec{Axes: []Axis{ax}}
+	if _, err := s.Enumerate(); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("unknown strategy: got %v, want error listing the registry", err)
+	}
+	if _, err := ParseSweep("route=bfs"); err == nil {
+		t.Error("misspelled axis name accepted")
+	}
+}
+
+// TestRoutingPointSemantics checks names reach the point lowercased and
+// the label only grows a routing fragment when one is set — historical
+// labels (and with them DeriveSeed streams) must stay untouched.
+func TestRoutingPointSemantics(t *testing.T) {
+	var p Point
+	if err := p.set("routing", "ETX"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Routing != "etx" {
+		t.Errorf("routing = %q, want lowercased etx", p.Routing)
+	}
+	if err := p.set("routing", "nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+
+	spec := Spec{Axes: []Axis{{Name: "mode", Values: []string{"802.11"}}}}
+	points, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(points[0].Label, "routing=") {
+		t.Errorf("unswept point grew a routing fragment: %q", points[0].Label)
+	}
+	spec.Axes = append(spec.Axes, Axis{Name: "routing", Values: []string{"kshortest"}})
+	points, err = spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(points[0].Label, "routing=kshortest") {
+		t.Errorf("swept point label misses the fragment: %q", points[0].Label)
+	}
+}

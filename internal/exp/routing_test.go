@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	root "ezflow"
+)
+
+// TestRoutingShape runs the routing cross product at the minimum duration
+// and checks every cell is populated and the headline ordering holds: on
+// a lossy disk, etx must never pay a higher calibrated path cost than
+// bfs (it minimises exactly that metric over the same graph).
+func TestRoutingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	r := Routing(Options{Seed: 1, Scale: 0.01, Parallel: 8})
+	for _, n := range r.DiskNodes {
+		for _, s := range RoutingStrategies {
+			for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+				run := r.Get(s, mode, n)
+				if run == nil {
+					t.Fatalf("missing cell %s/%v/n=%d", s, mode, n)
+				}
+				if run.Kbps <= 0 {
+					t.Errorf("%s/%v/n=%d: no throughput", s, mode, n)
+				}
+				if run.Hops < 2 || run.PathETX < float64(run.Hops) {
+					t.Errorf("%s/%v/n=%d: hops=%d pathETX=%.2f inconsistent", s, mode, n, run.Hops, run.PathETX)
+				}
+			}
+		}
+		bfs := r.Get("bfs", root.Mode80211, n)
+		etx := r.Get("etx", root.Mode80211, n)
+		if etx.PathETX > bfs.PathETX+1e-9 {
+			t.Errorf("n=%d: etx path cost %.2f exceeds bfs %.2f — it minimises this metric", n, etx.PathETX, bfs.PathETX)
+		}
+	}
+	if !strings.Contains(r.Report.String(), "disk n=200") {
+		t.Error("report misses the 200-node disk block")
+	}
+}
+
+// TestRoutingDeterministicAcrossWorkers pins the experiment's report to
+// be identical for any parallelism (the repository-wide campaign rule).
+func TestRoutingDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	serial := Routing(Options{Seed: 3, Scale: 0.01, Parallel: 1}).Report.String()
+	fanned := Routing(Options{Seed: 3, Scale: 0.01, Parallel: 8}).Report.String()
+	if serial != fanned {
+		t.Error("routing report differs between 1 and 8 workers")
+	}
+}

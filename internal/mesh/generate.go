@@ -9,12 +9,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"slices"
 	"sort"
 
 	"ezflow/internal/mac"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
+	"ezflow/internal/routing"
 	"ezflow/internal/sim"
 )
 
@@ -87,6 +87,18 @@ const randomDiskAttempts = 256
 // The seed only shapes the topology; it is deliberately drawn from its
 // own generator so placement never perturbs the engine's event RNG.
 func RandomDisk(eng *sim.Engine, n int, radius float64, seed int64, phyCfg phy.Config, macCfg mac.Config) *Mesh {
+	return RandomDiskLossy(eng, n, radius, seed, 0, phyCfg, macCfg)
+}
+
+// RandomDiskLossy builds the same deployment as RandomDisk and
+// additionally calibrates an edge-of-range loss model over every link
+// (ApplyEdgeLoss with the given maximum probability): links near the
+// transmission-range limit erase with probability ramping up to edgeLoss,
+// the heterogeneous link quality a real deployment measures. edgeLoss 0
+// is exactly RandomDisk. The installed route is still the minimum-hop
+// gateway path — a link-quality routing strategy (Config.Routing "etx")
+// recomputes it against the calibrated losses at wiring.
+func RandomDiskLossy(eng *sim.Engine, n int, radius float64, seed int64, edgeLoss float64, phyCfg phy.Config, macCfg mac.Config) *Mesh {
 	if n < 2 {
 		panic("mesh: random disk needs at least 2 nodes")
 	}
@@ -100,8 +112,8 @@ func RandomDisk(eng *sim.Engine, n int, radius float64, seed int64, phyCfg phy.C
 	found := false
 	for try := 0; try < randomDiskAttempts; try++ {
 		pos = samplePositions(rng, n, radius)
-		parent = bfsFromGateway(pos, phyCfg.TxRange)
-		if connected(parent) {
+		parent = routing.GatewayTree(pos, phyCfg.TxRange)
+		if routing.Connected(parent) {
 			found = true
 			break
 		}
@@ -114,6 +126,9 @@ func RandomDisk(eng *sim.Engine, n int, radius float64, seed int64, phyCfg phy.C
 	m := New(eng, phyCfg, macCfg)
 	for i, p := range pos {
 		m.AddNode(pkt.NodeID(i), p)
+	}
+	if edgeLoss > 0 {
+		m.ApplyEdgeLoss(edgeLoss)
 	}
 
 	// Flow 1: farthest node (lowest id on ties) back to the gateway along
@@ -149,57 +164,44 @@ func samplePositions(rng *rand.Rand, n int, radius float64) []phy.Position {
 	return pos
 }
 
-// bfsFromGateway runs a breadth-first search over the transmission-range
-// graph rooted at node 0, visiting neighbours in ascending id order so the
-// resulting shortest-path tree is deterministic. parent[i] is i's
-// predecessor toward the gateway, or -1 if unreachable.
-//
-// Candidates come from the same spatial hash the PHY neighbor index is
-// built with, so a connectivity pass is O(N·degree) instead of O(N²);
-// sorting each cell-neighborhood batch keeps the visit order — and with
-// it the resulting tree — identical to the all-pairs scan.
-func bfsFromGateway(pos []phy.Position, txRange float64) []int {
-	n := len(pos)
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = -1
+// ApplyEdgeLoss calibrates a deterministic edge-of-range loss model over
+// every in-range directed link: a link of length d erases with
+// probability maxLoss·((d-R/2)/(R/2))² for d beyond half the transmission
+// range R, and 0 below it. Short links stay clean, marginal links near
+// the range limit approach maxLoss — the SNR-driven quality gradient real
+// deployments measure (the paper's Table 1 testbed losses range 0–43%).
+// Node pairs are visited in ascending id order, so the resulting loss
+// table is a pure function of the placement.
+func (m *Mesh) ApplyEdgeLoss(maxLoss float64) {
+	if maxLoss <= 0 {
+		return
 	}
-	parent[0] = 0
-	g := phy.NewSpatialGrid(pos, txRange)
-	queue := make([]int, 0, n)
-	queue = append(queue, 0)
-	var cand []int32
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		cand = g.Near(pos[u], cand[:0])
-		slices.Sort(cand)
-		for _, v32 := range cand {
-			v := int(v32)
-			if parent[v] < 0 && pos[u].Dist(pos[v]) <= txRange {
-				parent[v] = u
-				queue = append(queue, v)
+	ids := m.Ch.NodeIDs()
+	r := m.Ch.Config().TxRange
+	half := r / 2
+	for _, a := range ids {
+		pa := m.Ch.Position(a)
+		for _, b := range ids {
+			if a == b {
+				continue
 			}
+			d := pa.Dist(m.Ch.Position(b))
+			if d > r || d <= half {
+				continue
+			}
+			frac := (d - half) / half
+			m.Ch.SetLinkLoss(a, b, maxLoss*frac*frac)
 		}
 	}
-	return parent
 }
 
-// connected reports whether every node reached the gateway in the BFS.
-func connected(parent []int) bool {
-	for _, p := range parent {
-		if p < 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// ValidateRoutes checks that every consecutive hop of every installed
-// route is within the channel's transmission range, panicking with the
-// offending link otherwise. Topology builders call it after SetRoute so a
-// disconnected layout fails at construction time.
-func (m *Mesh) ValidateRoutes() {
+// CheckRoutes reports the first installed route with a hop outside the
+// channel's transmission range, or nil when every route is valid. It is
+// the non-panicking half of the route-validity contract: builders assert
+// with ValidateRoutes (a bad construction is a programming error), while
+// callers probing a mesh mid-run — after repairs kept a broken route in
+// place, say — get an error they can handle.
+func (m *Mesh) CheckRoutes() error {
 	flows := make([]pkt.FlowID, 0, len(m.routes))
 	for f := range m.routes {
 		flows = append(flows, f)
@@ -209,8 +211,18 @@ func (m *Mesh) ValidateRoutes() {
 		route := m.routes[f]
 		for i := 0; i < len(route)-1; i++ {
 			if !m.Ch.InTxRange(route[i], route[i+1]) {
-				panic(fmt.Sprintf("mesh: flow %v hop %v->%v exceeds transmission range", f, route[i], route[i+1]))
+				return fmt.Errorf("mesh: flow %v hop %v->%v exceeds transmission range", f, route[i], route[i+1])
 			}
 		}
+	}
+	return nil
+}
+
+// ValidateRoutes asserts CheckRoutes, panicking with the offending link.
+// Topology builders call it after SetRoute so a disconnected layout fails
+// at construction time.
+func (m *Mesh) ValidateRoutes() {
+	if err := m.CheckRoutes(); err != nil {
+		panic(err.Error())
 	}
 }

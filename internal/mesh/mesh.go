@@ -13,6 +13,7 @@ import (
 	"ezflow/internal/mac"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
+	"ezflow/internal/routing"
 	"ezflow/internal/sim"
 )
 
@@ -80,6 +81,14 @@ type Mesh struct {
 	nextHop map[pkt.FlowID]map[pkt.NodeID]pkt.NodeID
 	sinks   []SinkFunc
 	macCfg  mac.Config
+
+	// strategy computes (re)routes; nil selects the registry default
+	// (minimum-hop BFS, byte-identical to the pre-registry behaviour).
+	strategy routing.Strategy
+	// rerouteFailures counts RerouteFlow calls that found no usable path
+	// (the flow kept its broken route) — the non-panicking half of the
+	// route-validity contract; see CheckRoutes.
+	rerouteFailures uint64
 }
 
 // SinkFunc observes every packet that reaches its final destination.
@@ -221,64 +230,119 @@ func (m *Mesh) Inject(p *pkt.Packet) bool {
 	return n.SourceQueue(next).Enqueue(p)
 }
 
+// SetStrategy installs the routing strategy (re)routes are computed
+// with. Nil restores the registry default (minimum-hop BFS). It only
+// selects the algorithm — installed routes stay untouched until
+// RecomputeRoutes or RerouteFlow runs.
+func (m *Mesh) SetStrategy(s routing.Strategy) { m.strategy = s }
+
+// Strategy returns the active routing strategy, materialising the
+// registry default on first use.
+func (m *Mesh) Strategy() routing.Strategy {
+	if m.strategy == nil {
+		m.strategy = routing.Default()
+	}
+	return m.strategy
+}
+
+// RoutingGraph assembles the read-only topology view routing strategies
+// compute over: ascending node ids, the usable-link predicate (plain
+// transmission range when usable is nil — the build-time connectivity),
+// the channel's calibrated losses, and the live per-link MAC counters.
+func (m *Mesh) RoutingGraph(usable func(a, b pkt.NodeID) bool) *routing.Graph {
+	ids := make([]pkt.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if usable == nil {
+		usable = m.Ch.InTxRange
+	}
+	return &routing.Graph{
+		IDs:      ids,
+		Usable:   usable,
+		LinkLoss: m.Ch.LinkLoss,
+		Measured: m.linkMeasured,
+	}
+}
+
+// linkMeasured sums the MAC counters of a's queues draining toward b —
+// the measured-cost inputs of the etx strategy. ok is false when a has
+// never had a queue toward b (no traffic has crossed the link).
+func (m *Mesh) linkMeasured(a, b pkt.NodeID) (acked, retries uint64, ok bool) {
+	n := m.nodes[a]
+	if n == nil {
+		return 0, 0, false
+	}
+	if q := n.fwdQ[b]; q != nil {
+		acked += q.Dequeued
+		retries += q.Retries
+		ok = true
+	}
+	if q := n.srcQ[b]; q != nil {
+		acked += q.Dequeued
+		retries += q.Retries
+		ok = true
+	}
+	return acked, retries, ok
+}
+
 // RerouteFlow recomputes the flow's path from its source to its
-// destination with a breadth-first search over the links admitted by the
-// usable predicate (typically transmission range minus failed links and
-// halted nodes), visiting neighbours in ascending id order so repairs are
-// deterministic, and installs the shortest-hop result. It reports whether
-// a path was found; when none exists the previous route stays in place —
-// traffic stalls at the break until connectivity returns, exactly like a
-// static routing agent that has not re-converged. Endpoints are always
-// considered, even when usable excludes them as relays of other flows.
+// destination with the active routing strategy over the links admitted by
+// the usable predicate (typically transmission range minus failed links
+// and halted nodes) and installs the result. Every strategy is
+// deterministic, so repairs are too. It reports whether a path was found;
+// when none exists the previous route stays in place and the failure is
+// counted (RerouteFailures) — traffic stalls at the break until
+// connectivity returns, exactly like a static routing agent that has not
+// re-converged. Endpoints are always considered, even when usable
+// excludes them as relays of other flows.
 func (m *Mesh) RerouteFlow(flow pkt.FlowID, usable func(a, b pkt.NodeID) bool) bool {
 	route := m.routes[flow]
 	if len(route) < 2 {
 		return false
 	}
 	src, dst := route[0], route[len(route)-1]
-	ids := make([]pkt.NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	parent := map[pkt.NodeID]pkt.NodeID{src: src}
-	queue := []pkt.NodeID{src}
-	found := false
-	for len(queue) > 0 && !found {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range ids {
-			if _, seen := parent[v]; seen || !usable(u, v) {
-				continue
-			}
-			parent[v] = u
-			if v == dst {
-				found = true
-				break
-			}
-			queue = append(queue, v)
-		}
-	}
-	if !found {
+	path, ok := m.Strategy().Route(m.RoutingGraph(usable), flow, src, dst)
+	if !ok {
+		m.rerouteFailures++
 		return false
-	}
-	var rev []pkt.NodeID
-	for v := dst; ; v = parent[v] {
-		rev = append(rev, v)
-		if v == src {
-			break
-		}
-	}
-	path := make([]pkt.NodeID, len(rev))
-	for i, v := range rev {
-		path[len(rev)-1-i] = v
 	}
 	if samePath(path, route) {
 		return true
 	}
 	m.SetRoute(flow, path)
 	return true
+}
+
+// RerouteFailures reports how many RerouteFlow calls found no usable
+// path. The observability layer exports it as the mesh.reroute_failures
+// gauge, so a silently-stalled flow is visible without a debugger.
+func (m *Mesh) RerouteFailures() uint64 { return m.rerouteFailures }
+
+// RecomputeRoutes reruns the active strategy over every installed flow
+// (ascending id order) at the current connectivity, replacing each route
+// that changed. Endpoints are preserved. Wiring calls it when a
+// non-default strategy is selected, so builder-installed minimum-hop
+// routes become the strategy's choice before traffic starts. It returns
+// an error naming the first flow left without a path — impossible on the
+// connectivity-validated builders, but a caller-built mesh can be
+// disconnected.
+func (m *Mesh) RecomputeRoutes() error {
+	g := m.RoutingGraph(nil)
+	s := m.Strategy()
+	for _, f := range m.Flows() {
+		route := m.routes[f]
+		src, dst := route[0], route[len(route)-1]
+		path, ok := s.Route(g, f, src, dst)
+		if !ok {
+			return fmt.Errorf("mesh: routing %q found no path for flow %v (%v to %v)", s.Name(), f, src, dst)
+		}
+		if !samePath(path, route) {
+			m.SetRoute(f, path)
+		}
+	}
+	return nil
 }
 
 // samePath reports whether two routes are identical.

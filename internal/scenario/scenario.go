@@ -35,6 +35,7 @@ import (
 	"ezflow/internal/dynamics"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
+	"ezflow/internal/routing"
 	"ezflow/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type Spec struct {
 	// Mode: a spec sets one or the other, so a file can never claim two
 	// control planes at once.
 	Controller string `json:"controller,omitempty"`
+	// Routing selects a routing strategy from the internal/routing
+	// registry by name (bfs | etx | kshortest — see routing.Names()).
+	// Empty or "bfs" keeps the default minimum-hop routes exactly as the
+	// topology builder installed them; any other strategy recomputes every
+	// route at wiring (see ezflow.Config.Routing).
+	Routing string `json:"routing,omitempty"`
 	// Seed is the run's random seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
 	// DurationSec is the simulated horizon in seconds (default 600).
@@ -88,6 +95,11 @@ type Topology struct {
 	Nodes int `json:"nodes,omitempty"`
 	// Radius is the random-disk radius in metres (0 = auto).
 	Radius float64 `json:"radius,omitempty"`
+	// EdgeLoss, for the random topology only, calibrates the
+	// edge-of-range loss model: links near the transmission-range limit
+	// erase with probability ramping quadratically up to this value (see
+	// mesh.ApplyEdgeLoss). 0 keeps every link loss-free.
+	EdgeLoss float64 `json:"edge_loss,omitempty"`
 }
 
 // Flow describes one traffic source.
@@ -213,6 +225,19 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: unknown controller %q (registered: %s)", s.Controller, ctl.NamesList())
 		}
 	}
+	if s.Routing != "" {
+		if _, ok := routing.ByName(s.Routing); !ok {
+			return fmt.Errorf("scenario: unknown routing strategy %q (registered: %s)", s.Routing, routing.NamesList())
+		}
+	}
+	if s.Topology.EdgeLoss != 0 {
+		if s.Topology.Kind != "random" {
+			return fmt.Errorf("scenario: edge_loss only applies to the random topology (kind %q)", s.Topology.Kind)
+		}
+		if s.Topology.EdgeLoss < 0 || s.Topology.EdgeLoss >= 1 {
+			return fmt.Errorf("scenario: edge_loss %g out of [0,1)", s.Topology.EdgeLoss)
+		}
+	}
 	if s.DurationSec < 0 {
 		return fmt.Errorf("scenario: negative duration_sec %g", s.DurationSec)
 	}
@@ -283,6 +308,7 @@ func (s *Spec) Config() ezflow.Config {
 	}
 	cfg.Mode, _ = ParseMode(s.Mode) // Validate vetted the spelling
 	cfg.Controller = s.Controller
+	cfg.Routing = s.Routing
 	cfg.MAC.HardwareCWCap = s.CWCap
 	cfg.WarmupSkip = sim.FromSeconds(s.WarmupSec)
 	cfg.RecoveryTolerance = s.RecoveryTolerance
@@ -380,7 +406,7 @@ func (s *Spec) BuildWith(cfg ezflow.Config, flows []ezflow.FlowSpec) (sc *ezflow
 		if n <= 0 {
 			n = 12
 		}
-		sc = ezflow.NewRandom(n, t.Radius, cfg, flows...)
+		sc = ezflow.NewRandomLossy(n, t.Radius, t.EdgeLoss, cfg, flows...)
 	default:
 		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
 	}

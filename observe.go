@@ -81,6 +81,12 @@ func (sc *Scenario) registerMetrics(reg *obs.Registry) {
 	reg.Gauge("phy.collisions", func() float64 { return float64(ch.Stats.Collisions) })
 	reg.Gauge("phy.captures", func() float64 { return float64(ch.Stats.Captures) })
 	reg.Gauge("phy.erasures", func() float64 { return float64(ch.Stats.Erasures) })
+
+	// Routing repair health: how many RerouteFlow calls found no usable
+	// path and left a broken route in place (the flow stalls until
+	// connectivity returns). Non-zero here is the signature of a
+	// partitioned network, surfaced without a debugger.
+	reg.Gauge("mesh.reroute_failures", func() float64 { return float64(m.RerouteFailures()) })
 	ids := ch.NodeIDs()
 	labels := make([]string, len(ids))
 	for i, id := range ids {

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"ezflow"
+	"ezflow/internal/routing"
 )
 
 // chainRun executes one short 4-hop chain scenario in the given mode; the
@@ -117,6 +118,80 @@ func BenchmarkDiskScaling(b *testing.B) {
 			var last *ezflow.Result
 			for i := 0; i < b.N; i++ {
 				last = diskRun(n)
+			}
+			b.ReportMetric(last.AggKbps, "kbps")
+		})
+	}
+}
+
+// routingStrategy materialises a default-configured registry strategy for
+// the route-computation microbenchmarks.
+func routingStrategy(b *testing.B, name string) routing.Strategy {
+	b.Helper()
+	info, ok := routing.ByName(name)
+	if !ok {
+		b.Fatalf("strategy %q not registered", name)
+	}
+	return info.New(routing.DefaultOptions())
+}
+
+// benchRouteBuild measures one strategy's pure route-computation cost on
+// a 200-node lossy random disk: the graph is assembled once, then each
+// iteration recomputes the rim flow's path — the work a dynamics-driven
+// repair performs mid-run.
+func benchRouteBuild(b *testing.B, name string) {
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = 1
+	sc := ezflow.NewRandomLossy(200, 0, 0.5, cfg)
+	g := sc.Mesh.RoutingGraph(nil)
+	route := sc.Mesh.Route(1)
+	src, dst := route[0], route[len(route)-1]
+	s := routingStrategy(b, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Route(g, 1, src, dst); !ok {
+			b.Fatal("no route on a connected disk")
+		}
+	}
+}
+
+// BenchmarkRoutingBFS is the repair-cost baseline: the legacy minimum-hop
+// search on a 200-node disk.
+func BenchmarkRoutingBFS(b *testing.B) { benchRouteBuild(b, "bfs") }
+
+// BenchmarkRoutingETX measures the O(V²) Dijkstra of the link-quality
+// strategy on the same graph.
+func BenchmarkRoutingETX(b *testing.B) { benchRouteBuild(b, "etx") }
+
+// BenchmarkRoutingKShortest measures Yen's k-shortest ranking (K=4, each
+// spur an inner BFS) on the same graph — the most expensive strategy.
+func BenchmarkRoutingKShortest(b *testing.B) { benchRouteBuild(b, "kshortest") }
+
+// lossyDiskRun is diskRun over the edge-of-range loss model with the
+// given routing strategy — the workload of the `ezbench -exp routing`
+// cross product.
+func lossyDiskRun(n int, strategy string) *ezflow.Result {
+	cfg := ezflow.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Duration = largeTopoDuration
+	cfg.Bin = ezflow.Second
+	cfg.Mode = ezflow.ModeEZFlow
+	cfg.Routing = strategy
+	return ezflow.NewRandomLossy(n, 0, 0.5, cfg).Run()
+}
+
+// BenchmarkDiskScalingRouting reruns the 200-node disk per routing
+// strategy on lossy links: end-to-end cost of strategy selection
+// (wiring-time recomputation included) plus the throughput each strategy
+// extracts, reported as the kbps metric.
+func BenchmarkDiskScalingRouting(b *testing.B) {
+	for _, s := range []string{"bfs", "etx", "kshortest"} {
+		b.Run(s, func(b *testing.B) {
+			b.ReportAllocs()
+			var last *ezflow.Result
+			for i := 0; i < b.N; i++ {
+				last = lossyDiskRun(200, s)
 			}
 			b.ReportMetric(last.AggKbps, "kbps")
 		})
