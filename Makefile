@@ -39,13 +39,15 @@ staticcheck:
 # micro-benchmarks, the PHY transmission path, the controller hot hooks
 # (OnOverhear/OnDequeue, pinned at zero allocs), the observability
 # instruments (counter/vec/histogram/flight-record increments plus the
-# disabled nil-receiver hooks, all pinned at zero allocs), and the
+# disabled nil-receiver hooks, all pinned at zero allocs), the
 # routing strategies (pure route-computation cost per registry entry
-# plus the lossy-disk rerun per strategy) — gates them against the
-# committed baseline (BENCH_PR6.json; >25% allocs/op regression fails,
+# plus the lossy-disk rerun per strategy), and the fabric cache
+# (key derivation and a store Put+Get round trip — the fixed overhead
+# a cache hit pays to skip a simulation) — gates them against the
+# committed baseline (BENCH_PR7.json; >25% allocs/op regression fails,
 # zero-alloc pins fail on any alloc, ns/op gets a wider 2x band
 # because the archived baseline was recorded on a different host),
-# archives the fresh run as BENCH_PR7.json (uploaded as a CI artifact,
+# archives the fresh run as BENCH_PR8.json (uploaded as a CI artifact,
 # committed when the recorded trajectory changes), and prints the
 # speedup table.
 bench:
@@ -59,10 +61,12 @@ bench:
 	    ./internal/ctl | tee -a /tmp/bench.out
 	$(GO) test -bench='^BenchmarkObs' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/obs | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson -baseline BENCH_PR6.json -tolerance 0.25 -ns-tolerance 1.0 \
-	    < /tmp/bench.out > BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
-	$(GO) run ./tools/benchjson -compare BENCH_PR6.json BENCH_PR7.json
+	$(GO) test -bench='^BenchmarkCacheKey$$|^BenchmarkStoreRoundTrip$$' -benchmem -run='^$$' -benchtime=1s \
+	    ./internal/fabric | tee -a /tmp/bench.out
+	$(GO) run ./tools/benchjson -baseline BENCH_PR7.json -tolerance 0.25 -ns-tolerance 1.0 \
+	    < /tmp/bench.out > BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
+	$(GO) run ./tools/benchjson -compare BENCH_PR7.json BENCH_PR8.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).

@@ -16,6 +16,10 @@
 //	ezbench -parallel 8        # fan each experiment's runs over 8 workers
 //	ezbench -exp scale -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                           # profile an experiment (see `make profile`)
+//	ezbench -exp controllers,routing -cache
+//	                           # warm the fabric result store (internal/fabric);
+//	                           # the rerun replays every cell from cache and
+//	                           # prints `cache: X hit / Y miss`
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/exp"
+	"ezflow/internal/fabric"
 	"ezflow/internal/obs"
 )
 
@@ -76,6 +81,8 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max scenario runs in flight per experiment (results are identical for any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU pprof profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation pprof profile (after the run) to this file")
+		cache      = flag.Bool("cache", false, "consult and fill the content-addressed result store at -cache-dir (used by the controllers and routing head-to-heads)")
+		cacheDir   = flag.String("cache-dir", "fabric-cache", "fabric store directory, shared with ezcampaign -cache (setting it implies -cache)")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -83,6 +90,12 @@ func main() {
 		fmt.Println("ezbench " + buildinfo.String())
 		return
 	}
+	useCache := *cache
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cache-dir" {
+			useCache = true
+		}
+	})
 
 	// Resolve and validate the experiment selection before any profiling
 	// starts: exiting on a typo'd name must not leave a truncated
@@ -118,11 +131,24 @@ func main() {
 	}()
 
 	o := exp.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
+	var store *fabric.Store
+	if useCache {
+		store, err = fabric.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ezbench: %v\n", err)
+			os.Exit(1)
+		}
+		o.Cache = store
+	}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {
 			continue
 		}
 		fmt.Print(e.run(o).String())
 		fmt.Println()
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hit / %d miss\n", st.Hits, st.Misses)
 	}
 }

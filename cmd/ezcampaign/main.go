@@ -19,6 +19,7 @@
 //	           -sweep flap=0,1 -reps 10
 //	ezcampaign -sweep routing=bfs,etx,kshortest -sweep mode=802.11,ezflow \
 //	           -reps 5
+//	ezcampaign -sweep hops=2..8 -reps 10 -cache -shards 4 -json out.json
 //
 // The controller axis sweeps the congestion-controller registry
 // (internal/ctl) head to head — any registered name plus 802.11 for the
@@ -50,17 +51,30 @@
 // metrics and flight recording inside every worker. None of these change
 // the emitted results — the golden tests pin byte-identity with
 // observability on and off.
+//
+// The campaign fabric (internal/fabric): -cache consults and fills a
+// content-addressed result store at -cache-dir, so repeated sweeps only
+// simulate new points (a one-line `cache: X hit / Y miss` summary goes
+// to stderr); -shards N fans the grid across N `ezcampaign -worker`
+// subprocesses sharing that store, with merged output byte-identical to
+// -parallel 1 in one process. SIGINT stops gracefully: in-flight runs
+// finish and reach the cache, so rerunning the same command resumes
+// where the interrupted sweep stopped. -worker is the subprocess side of
+// the shard protocol (a JSON job document on stdin, NDJSON result frames
+// on stdout) and is not meant for interactive use.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/campaign"
+	"ezflow/internal/fabric"
 	"ezflow/internal/obs"
 	"ezflow/internal/scenario"
 )
@@ -104,6 +118,10 @@ func main() {
 		obsRuns  = flag.Bool("obs-runs", false, "attach per-run observability (metrics + flight recorder) to every run; results stay byte-identical")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf  = flag.String("memprofile", "", "write a post-campaign heap profile to this file")
+		cache    = flag.Bool("cache", false, "consult and fill the content-addressed result store at -cache-dir")
+		cacheDir = flag.String("cache-dir", "fabric-cache", "fabric store directory (setting it implies -cache)")
+		shards   = flag.Int("shards", 1, "worker subprocesses to fan the grid across (1 = in-process); output is byte-identical for any value")
+		worker   = flag.Bool("worker", false, "run as a shard worker: read a job document on stdin, stream result frames on stdout (internal)")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -111,6 +129,18 @@ func main() {
 		fmt.Println("ezcampaign " + buildinfo.String())
 		return
 	}
+	if *worker {
+		if err := campaign.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	useCache := *cache
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cache-dir" {
+			useCache = true
+		}
+	})
 
 	spec := campaign.Spec{
 		Name:        *name,
@@ -142,10 +172,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ezcampaign: observability endpoint at http://%s\n", srv.Addr())
 	}
 
-	eng := campaign.Engine{Parallel: *parallel}
+	var store *fabric.Store
+	if useCache {
+		store, err = fabric.Open(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Graceful SIGINT: stop dispatching new runs and let in-flight ones
+	// finish — every completed replication is already in the cache (the
+	// store's writes are atomic), so rerunning the same command resumes
+	// where the sweep stopped. A second ^C aborts immediately.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\nezcampaign: interrupt — letting in-flight runs finish (^C again to abort)")
+		close(interrupt)
+		<-sigc
+		os.Exit(130)
+	}()
+	interrupted := func() bool {
+		select {
+		case <-interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var progressFn func(done, total int)
 	if *progress || srv != nil {
 		printProgress := *progress
-		eng.Progress = func(done, total int) {
+		progressFn = func(done, total int) {
 			// PublishProgress is atomic, so it is safe from whichever worker
 			// goroutine reports completion.
 			srv.PublishProgress(obs.Progress{Done: int64(done), Total: int64(total)})
@@ -158,7 +219,43 @@ func main() {
 			}
 		}
 	}
-	res, err := eng.Run(spec)
+
+	var (
+		res    *campaign.Result
+		cstats campaign.CacheStats
+	)
+	if *shards > 1 {
+		exe, exeErr := os.Executable()
+		if exeErr != nil {
+			fatalf("resolving worker executable: %v", exeErr)
+		}
+		dir := ""
+		if useCache {
+			dir = *cacheDir
+		}
+		res, cstats, err = campaign.RunSharded(spec, campaign.ShardOptions{
+			Shards:   *shards,
+			Command:  []string{exe, "-worker"},
+			CacheDir: dir,
+			Parallel: *parallel,
+			Progress: progressFn,
+		})
+	} else {
+		eng := campaign.Engine{Parallel: *parallel, Cache: store, Interrupt: interrupt, Progress: progressFn}
+		res, err = eng.Run(spec)
+		cstats = eng.CacheStats()
+	}
+	if err == campaign.ErrInterrupted || (err != nil && interrupted()) {
+		// A terminal ^C also reaches shard workers (same process group),
+		// so a worker error after an interrupt is the interrupt.
+		if useCache {
+			fmt.Fprintf(os.Stderr, "ezcampaign: interrupted; %d completed runs are cached in %s — rerun the same command to resume\n",
+				cstats.Hits+cstats.Misses, *cacheDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "ezcampaign: interrupted (no -cache: completed runs are lost; add -cache to make interrupts resumable)")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -200,6 +297,9 @@ func main() {
 		if err := c(); err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if useCache {
+		fmt.Fprintf(os.Stderr, "cache: %d hit / %d miss\n", cstats.Hits, cstats.Misses)
 	}
 }
 

@@ -1,0 +1,146 @@
+// Command ezserve is the campaign service: a long-running HTTP/JSON
+// server that accepts experiment-campaign submissions, executes them on
+// the in-process worker pool, and serves results — fronted by the
+// content-addressed fabric store (internal/fabric), so a sweep any
+// client has run before is answered from cache without simulating.
+// Campaigns are deterministic (seed derivation is a pure function of
+// the spec), which is what makes serving them safe: two clients
+// submitting the same sweep get byte-identical results no matter which
+// instance, process, or cache entry produced them.
+//
+// Usage:
+//
+//	ezserve -addr 127.0.0.1:8370 -cache-dir fabric-cache
+//
+// API (all JSON unless noted):
+//
+//	POST /campaigns               submit a sweep; body e.g.
+//	                              {"name":"demo",
+//	                               "sweeps":["mode=802.11,ezflow","hops=2..4"],
+//	                               "reps":3,"duration_sec":30}
+//	                              (axes may also be given structurally as
+//	                              "axes":[{"name":"mode","values":[...]}], and
+//	                              "scenario" embeds a scenario file inline)
+//	GET  /campaigns               list submissions, oldest first
+//	GET  /campaigns/{id}          one campaign's status: state, done/total,
+//	                              live cache hit/miss counts
+//	GET  /campaigns/{id}/events   NDJSON progress stream: one status line per
+//	                              change until the campaign reaches a
+//	                              terminal state
+//	GET  /campaigns/{id}/result   full campaign result (same document as
+//	                              `ezcampaign -json`)
+//	GET  /campaigns/{id}/result.csv  per-replication CSV
+//	GET  /stats                   cache and worker-pool statistics
+//	GET  /metrics                 observability snapshot (internal/obs):
+//	                              fabric.cache.* and fabric.workers.* gauges
+//	GET  /debug/pprof/            Go profiling endpoints
+//
+// Publishing follows the PR 6 obs.Server discipline: handlers never
+// touch mutable campaign state — every engine publishes through atomic
+// counters and mutex-copied snapshots, so serving cannot perturb a run.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, no new
+// replications are dispatched, in-flight ones finish and reach the
+// cache (store writes are atomic), so resubmitting an interrupted sweep
+// to the next instance resumes where it stopped.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ezflow/internal/buildinfo"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8370", "listen address (host:port; :0 picks a free port)")
+		cacheDir  = flag.String("cache-dir", "fabric-cache", "fabric result-store directory (empty disables caching)")
+		parallel  = flag.Int("parallel", 0, "max replications in flight per campaign (0 = GOMAXPROCS)")
+		maxActive = flag.Int("max-active", 2, "campaigns executing concurrently; further submissions queue")
+		prune     = flag.Int("prune", 0, "evict oldest cache entries beyond this count at startup (0 = keep all)")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("ezserve " + buildinfo.String())
+		return
+	}
+
+	s, err := newServer(serverOptions{
+		cacheDir:  *cacheDir,
+		parallel:  *parallel,
+		maxActive: *maxActive,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *prune > 0 && s.cache != nil {
+		if n := s.cache.Prune(*prune); n > 0 {
+			fmt.Fprintf(os.Stderr, "ezserve: pruned %d cache entries beyond %d\n", n, *prune)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpSrv := &http.Server{Handler: s.handler()}
+	fmt.Fprintf(os.Stderr, "ezserve: serving campaigns at http://%s (parallel %d, max-active %d",
+		ln.Addr(), resolveParallel(*parallel), *maxActive)
+	if s.cache != nil {
+		fmt.Fprintf(os.Stderr, ", cache %s)\n", s.cache.Dir())
+	} else {
+		fmt.Fprintln(os.Stderr, ", cache disabled)")
+	}
+
+	// Graceful shutdown: stop listening, stop dispatching new
+	// replications, let in-flight ones finish into the cache. A second
+	// signal aborts immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "ezserve: shutting down — letting in-flight runs finish (signal again to abort)")
+		go func() {
+			<-sigc
+			os.Exit(130)
+		}()
+		s.shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	s.wait()
+	if s.cache != nil {
+		st := s.cache.Stats()
+		fmt.Fprintf(os.Stderr, "ezserve: cache: %d hit / %d miss (%d entries)\n",
+			st.Hits, st.Misses, s.cache.Len())
+	}
+}
+
+// resolveParallel mirrors campaign.Engine's 0-means-GOMAXPROCS default
+// for the startup banner and the utilization denominator.
+func resolveParallel(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ezserve: "+format+"\n", args...)
+	os.Exit(1)
+}

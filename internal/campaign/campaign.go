@@ -23,17 +23,20 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ezflow"
 	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
+	"ezflow/internal/fabric"
 	"ezflow/internal/obs"
 	"ezflow/internal/routing"
 	"ezflow/internal/scenario"
@@ -487,6 +490,50 @@ type Engine struct {
 	// the number finished so far. Calls are serialised but arrive in
 	// completion order, not grid order.
 	Progress func(done, total int)
+	// Cache, when non-nil, is consulted before every replication and
+	// filled (atomically, via the store's write-temp-rename) as each
+	// completes, so repeated sweeps only pay for new points and an
+	// interrupted campaign resumes from its completed runs. Cache hits
+	// return results byte-identical to the runs they replace — the
+	// warm-cache golden tests pin this.
+	Cache *fabric.Store
+	// Interrupt, when non-nil, requests a graceful stop when closed: no
+	// new replications start, in-flight ones finish (and reach the
+	// cache), and Run returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// RunActive, when non-nil, is incremented for the duration of every
+	// replication that actually simulates — cache hits never touch it.
+	// It is the worker-utilization probe of cmd/ezserve.
+	RunActive *atomic.Int64
+
+	hits, misses atomic.Uint64
+}
+
+// CacheStats reports the engine's cumulative cache traffic across its
+// Run calls (both zero when no Cache is attached). Safe to call
+// concurrently with Run — ezserve polls it for live status.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}
+
+// ErrInterrupted is returned by Engine.Run when its Interrupt channel
+// closed before the grid completed. Every replication finished by then
+// has reached the cache, so rerunning the same spec resumes where the
+// interrupted campaign stopped.
+var ErrInterrupted = errors.New("campaign: interrupted before completion")
+
+// effective resolves the spec's defaulted execution parameters: the
+// replication count and the per-run simulated duration in seconds.
+func (s Spec) effective() (reps int, durSec float64) {
+	reps = s.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	durSec = s.DurationSec
+	if durSec <= 0 {
+		durSec = ezflow.DefaultDuration.Seconds()
+	}
+	return reps, durSec
 }
 
 // Run executes the campaign and returns the aggregated result.
@@ -495,14 +542,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reps := spec.Reps
-	if reps <= 0 {
-		reps = 1
-	}
-	durSec := spec.DurationSec
-	if durSec <= 0 {
-		durSec = ezflow.DefaultDuration.Seconds()
-	}
+	reps, durSec := spec.effective()
 	parallel := e.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -512,13 +552,58 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	for _, p := range points {
 		for rep := 0; rep < reps; rep++ {
 			p, rep := p, rep
-			jobs = append(jobs, func() RunResult { return runOne(spec, p, rep, durSec) })
+			jobs = append(jobs, func() RunResult { return e.exec(spec, p, rep, durSec) })
 		}
 	}
 	start := time.Now()
-	runs := runAll(parallel, jobs, e.Progress)
-	res := &Result{Spec: spec, Runs: runs, Elapsed: time.Since(start)}
+	runs, interrupted := runAllCancel(parallel, jobs, e.Progress, e.Interrupt)
+	if interrupted {
+		return nil, ErrInterrupted
+	}
+	res := assemble(spec, points, reps, runs)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
 
+// exec satisfies one replication: from the cache when possible,
+// otherwise by simulating and (best-effort) caching the outcome. Cache
+// write failures never fail a run — the result is simply recomputed
+// next time.
+func (e *Engine) exec(spec Spec, p Point, rep int, durSec float64) RunResult {
+	if e.Cache == nil {
+		return e.simulate(spec, p, rep, durSec)
+	}
+	key, err := runKey(spec, p, rep, durSec)
+	if err != nil {
+		return e.simulate(spec, p, rep, durSec)
+	}
+	var w wireRun
+	if e.Cache.Get(key, &w) {
+		e.hits.Add(1)
+		return w.run(p, rep)
+	}
+	e.misses.Add(1)
+	rr := e.simulate(spec, p, rep, durSec)
+	e.Cache.Put(key, wireFromRun(rr)) //nolint:errcheck // cache writes are best-effort
+	return rr
+}
+
+// simulate runs one replication, tracking worker utilization.
+func (e *Engine) simulate(spec Spec, p Point, rep int, durSec float64) RunResult {
+	if e.RunActive != nil {
+		e.RunActive.Add(1)
+		defer e.RunActive.Add(-1)
+	}
+	return runOne(spec, p, rep, durSec)
+}
+
+// assemble aggregates the grid's replications (in grid order: the run
+// for (point i, rep r) sits at runs[i*reps+r]) into the campaign
+// result. It is shared by the in-process engine and the sharded
+// coordinator, which is what makes shard-merged output byte-identical
+// to a single-process run.
+func assemble(spec Spec, points []Point, reps int, runs []RunResult) *Result {
+	res := &Result{Spec: spec, Runs: runs}
 	for i, p := range points {
 		agg := Aggregate{Point: p, Reps: reps}
 		var aggW, fairW, delayW, queueW, binW, recW, tailW stats.Welford
@@ -545,7 +630,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 		agg.TailQueuePkts = tailW.Summarize()
 		res.Points = append(res.Points, agg)
 	}
-	return res, nil
+	return res
 }
 
 func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {

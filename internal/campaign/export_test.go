@@ -1,0 +1,10 @@
+package campaign
+
+// SetCacheVersionForTest overrides the code-version string attached to
+// cache entries and returns a restore func — how the invalidation tests
+// simulate a release bump without rebuilding.
+func SetCacheVersionForTest(v string) (restore func()) {
+	old := cacheVersion
+	cacheVersion = v
+	return func() { cacheVersion = old }
+}

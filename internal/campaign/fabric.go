@@ -1,0 +1,96 @@
+// Cache integration: how a campaign replication becomes a
+// content-addressed fabric entry. The key material canonically captures
+// everything that determines a run's outcome — the normalized grid
+// point (position-independent: its index is zeroed), the derived seed,
+// the effective duration, whether the rate axis rewrites scenario-file
+// flows, and the scenario file's entire content — and the producing
+// code version rides alongside (checked, not hashed, by fabric.Store).
+// The payload is the replication's RunResult plus the exact state of
+// its pooled bin-throughput accumulator, so a cache hit merges into
+// aggregates bit-identically to the run it replaced.
+package campaign
+
+import (
+	"ezflow/internal/buildinfo"
+	"ezflow/internal/fabric"
+	"ezflow/internal/scenario"
+	"ezflow/internal/stats"
+)
+
+// cacheSchema versions the key material layout below. Bump it whenever
+// the material's shape or semantics change, so entries keyed under the
+// old layout can never be misread as current.
+const cacheSchema = 1
+
+// cacheVersion is the code-version string attached to every cache entry.
+// It is the invalidation lever: any simulator behaviour change bumps
+// buildinfo.Release, which orphans (and garbage-collects) every prior
+// entry. A package variable so tests can pin or bump it.
+var cacheVersion = buildinfo.Release
+
+// runKeyMaterial is the canonical description of one replication. Field
+// order is the serialisation order; the golden-hash pin test fails
+// loudly on any accidental drift.
+type runKeyMaterial struct {
+	Schema      int            `json:"schema"`
+	Kind        string         `json:"kind"`
+	Label       string         `json:"label"`
+	Seed        int64          `json:"seed"`
+	Rep         int            `json:"rep"`
+	DurationSec float64        `json:"duration_sec"`
+	Point       Point          `json:"point"`
+	RateSwept   bool           `json:"rate_swept,omitempty"`
+	Scenario    *scenario.Spec `json:"scenario,omitempty"`
+}
+
+// runKey builds the fabric key for one replication of a campaign.
+func runKey(spec Spec, p Point, rep int, durSec float64) (fabric.Key, error) {
+	// The point's grid index is positional bookkeeping, not physics: the
+	// same configuration must hash identically wherever it lands in a
+	// sweep, so extending a campaign still hits every prior point.
+	p.Index = 0
+	return fabric.NewKey(cacheVersion, runKeyMaterial{
+		Schema:      cacheSchema,
+		Kind:        "campaign.run",
+		Label:       p.Label,
+		Seed:        DeriveSeed(spec.BaseSeed, p.Label, rep),
+		Rep:         rep,
+		DurationSec: durSec,
+		Point:       p,
+		RateSwept:   spec.sweeps("rate"),
+		Scenario:    spec.Scenario,
+	})
+}
+
+// wireRun is the serialisable form of a RunResult, used for both cache
+// payloads and worker-process frames: the public scalar fields plus the
+// exact Welford state of the pooled bin-throughput accumulator.
+type wireRun struct {
+	RunResult
+	BinState stats.WelfordState `json:"bin_state"`
+}
+
+// wireFromRun captures a completed replication for the wire.
+func wireFromRun(r RunResult) wireRun {
+	return wireRun{RunResult: r, BinState: r.binKbps.State()}
+}
+
+// run restores the replication, rebinding its positional fields to the
+// caller's grid (a cached point may have been produced under a
+// different sweep whose grid indexed it elsewhere).
+func (w wireRun) run(p Point, rep int) RunResult {
+	r := w.RunResult
+	r.binKbps.SetState(w.BinState)
+	r.Point = p.Index
+	r.Label = p.Label
+	r.Rep = rep
+	return r
+}
+
+// CacheStats reports how a campaign's replications were satisfied.
+type CacheStats struct {
+	// Hits is the number of replications answered from the fabric store.
+	Hits uint64 `json:"hits"`
+	// Misses is the number that had to simulate.
+	Misses uint64 `json:"misses"`
+}

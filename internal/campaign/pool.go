@@ -16,15 +16,36 @@ func RunAll[T any](parallel int, jobs []func() T) []T {
 }
 
 func runAll[T any](parallel int, jobs []func() T, progress func(done, total int)) []T {
-	out := make([]T, len(jobs))
+	out, _ := runAllCancel(parallel, jobs, progress, nil)
+	return out
+}
+
+// runAllCancel is RunAll with graceful cancellation: when cancel (which
+// may be nil) is closed, no further jobs are dispatched, jobs already
+// running finish normally, and the call reports interrupted=true. The
+// returned slice always has len(jobs) entries; on interruption the
+// undispatched ones hold zero values.
+func runAllCancel[T any](parallel int, jobs []func() T, progress func(done, total int), cancel <-chan struct{}) (out []T, interrupted bool) {
+	out = make([]T, len(jobs))
+	cancelled := func() bool {
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
 	if parallel <= 1 || len(jobs) <= 1 {
 		for i, job := range jobs {
+			if cancel != nil && cancelled() {
+				return out, true
+			}
 			out[i] = job()
 			if progress != nil {
 				progress(i+1, len(jobs))
 			}
 		}
-		return out
+		return out, false
 	}
 	if parallel > len(jobs) {
 		parallel = len(jobs)
@@ -51,10 +72,16 @@ func runAll[T any](parallel int, jobs []func() T, progress func(done, total int)
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-cancel:
+			interrupted = true
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	return out, interrupted
 }

@@ -1,0 +1,289 @@
+// Sharded multi-process execution: a campaign grid split across worker
+// subprocesses speaking a line-oriented JSON protocol over stdio.
+//
+// The coordinator (RunSharded) enumerates the grid once, deals the
+// (point, rep) replication jobs across shards with fabric.PlanShards,
+// and launches one worker subprocess per shard. Each worker receives a
+// single JSON document on stdin — the full campaign spec plus its
+// assignment list — re-enumerates the grid (Enumerate is deterministic,
+// so point indices agree by construction), executes its assignments on
+// an in-process Engine (cache included, when a directory is shared),
+// and streams one NDJSON frame per completed replication back on
+// stdout, closing with a summary frame.
+//
+// Determinism argument: every replication's seed comes from
+// DeriveSeed(base, label, rep) — a pure function — and the coordinator
+// places each returned run at its grid position (point*reps + rep)
+// rather than in arrival order. Partitioning and completion order are
+// therefore invisible to the merged result, and assemble() produces
+// output byte-identical to a single-process -parallel 1 run. The golden
+// shard tests pin this at shard counts 1, 2, and 4.
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"ezflow/internal/fabric"
+)
+
+// workerInput is the single JSON document a coordinator writes to a
+// worker's stdin.
+type workerInput struct {
+	Spec        Spec                `json:"spec"`
+	Assignments []fabric.Assignment `json:"assignments"`
+	// CacheDir, when set, has the worker open (or create) the shared
+	// fabric store there.
+	CacheDir string `json:"cache_dir,omitempty"`
+	// Parallel bounds the worker's in-process run concurrency.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// workerFrame is one NDJSON message a worker writes to stdout: a
+// completed replication, or the closing summary.
+type workerFrame struct {
+	Run *wireRun `json:"run,omitempty"`
+	// Done marks the summary frame, carrying the worker's cache traffic.
+	Done   bool   `json:"done,omitempty"`
+	Hits   uint64 `json:"cache_hits,omitempty"`
+	Misses uint64 `json:"cache_misses,omitempty"`
+	// Error reports a worker-side failure (bad input, unknown point).
+	Error string `json:"error,omitempty"`
+}
+
+// WorkerMain is the entry point of `ezcampaign -worker`: it decodes one
+// workerInput document from r, executes the assigned replications, and
+// streams result frames to w. It never writes anything but protocol
+// frames to w — human diagnostics belong on stderr.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	var in workerInput
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("campaign: worker reading input: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	err := runWorker(in, bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// runWorker executes one worker's assignments and streams frames to w.
+func runWorker(in workerInput, w io.Writer) error {
+	points, err := in.Spec.Enumerate()
+	if err != nil {
+		return writeWorkerError(w, err)
+	}
+	reps, durSec := in.Spec.effective()
+	for _, a := range in.Assignments {
+		if a.Point < 0 || a.Point >= len(points) || a.Rep < 0 || a.Rep >= reps {
+			return writeWorkerError(w, fmt.Errorf("campaign: assignment (point %d, rep %d) outside the %dx%d grid", a.Point, a.Rep, len(points), reps))
+		}
+	}
+	eng := &Engine{Parallel: in.Parallel}
+	if in.CacheDir != "" {
+		store, err := fabric.Open(in.CacheDir)
+		if err != nil {
+			return writeWorkerError(w, err)
+		}
+		eng.Cache = store
+	}
+
+	// Workers stream frames in completion order under a lock; the
+	// coordinator reorders by grid position, so interleaving is free.
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	var encErr error
+	jobs := make([]func() struct{}, len(in.Assignments))
+	for i, a := range in.Assignments {
+		a := a
+		jobs[i] = func() struct{} {
+			rr := eng.exec(in.Spec, points[a.Point], a.Rep, durSec)
+			wr := wireFromRun(rr)
+			mu.Lock()
+			if err := enc.Encode(workerFrame{Run: &wr}); err != nil && encErr == nil {
+				encErr = err
+			}
+			mu.Unlock()
+			return struct{}{}
+		}
+	}
+	runAll(in.Parallel, jobs, nil)
+	if encErr != nil {
+		return encErr
+	}
+	cs := eng.CacheStats()
+	return enc.Encode(workerFrame{Done: true, Hits: cs.Hits, Misses: cs.Misses})
+}
+
+// writeWorkerError reports a worker-side failure as a protocol frame
+// (so the coordinator sees the cause, not just a dead pipe) and as the
+// worker's exit error.
+func writeWorkerError(w io.Writer, err error) error {
+	json.NewEncoder(w).Encode(workerFrame{Error: err.Error()}) //nolint:errcheck // the returned error already carries the cause
+	return err
+}
+
+// ShardOptions configures a sharded campaign execution.
+type ShardOptions struct {
+	// Shards is the number of worker subprocesses (values < 1 mean 1).
+	Shards int
+	// Command is the argv launching one worker — typically
+	// {os.Executable(), "-worker"}. The subprocess must read a
+	// workerInput document on stdin and speak the frame protocol on
+	// stdout; pointing this at an ssh wrapper shards across machines.
+	Command []string
+	// Env entries are appended to the inherited environment of every
+	// worker.
+	Env []string
+	// CacheDir, when set, is the fabric store directory every worker
+	// shares (atomic entry writes make concurrent access safe).
+	CacheDir string
+	// Parallel bounds each worker's in-process run concurrency; 0 lets
+	// the worker pick GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, is called after every completed
+	// replication with the number finished so far, across all shards.
+	Progress func(done, total int)
+}
+
+// RunSharded executes the campaign across worker subprocesses and
+// returns the aggregated result plus the workers' combined cache
+// traffic. The merged result is byte-identical to Engine.Run on the
+// same spec (any Parallel): see the package comment for the argument.
+func RunSharded(spec Spec, opts ShardOptions) (*Result, CacheStats, error) {
+	var cs CacheStats
+	points, err := spec.Enumerate()
+	if err != nil {
+		return nil, cs, err
+	}
+	if len(opts.Command) == 0 {
+		return nil, cs, fmt.Errorf("campaign: RunSharded needs a worker command")
+	}
+	reps, _ := spec.effective()
+	plan := fabric.PlanShards(len(points), reps, opts.Shards)
+	total := len(points) * reps
+
+	var (
+		mu   sync.Mutex
+		runs = make([]RunResult, total)
+		got  = make([]bool, total)
+		done int
+	)
+	start := time.Now()
+	errs := make(chan error, len(plan))
+	for shard, assignments := range plan {
+		shard, assignments := shard, assignments
+		go func() {
+			errs <- runShard(spec, opts, assignments, func(f workerFrame) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if f.Done {
+					cs.Hits += f.Hits
+					cs.Misses += f.Misses
+					return nil
+				}
+				r := f.Run
+				if r.Point < 0 || r.Point >= len(points) || r.Rep < 0 || r.Rep >= reps {
+					return fmt.Errorf("campaign: shard %d returned a run outside the grid (point %d, rep %d)", shard, r.Point, r.Rep)
+				}
+				i := r.Point*reps + r.Rep
+				if got[i] {
+					return fmt.Errorf("campaign: shard %d returned (point %d, rep %d) twice", shard, r.Point, r.Rep)
+				}
+				runs[i] = r.run(points[r.Point], r.Rep)
+				got[i] = true
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				return nil
+			})
+		}()
+	}
+	for range plan {
+		if e := <-errs; e != nil && err == nil {
+			err = e
+		}
+	}
+	if err != nil {
+		return nil, cs, err
+	}
+	for i, ok := range got {
+		if !ok {
+			return nil, cs, fmt.Errorf("campaign: no shard returned (point %d, rep %d)", i/reps, i%reps)
+		}
+	}
+	res := assemble(spec, points, reps, runs)
+	res.Elapsed = time.Since(start)
+	return res, cs, nil
+}
+
+// runShard launches one worker subprocess, feeds it its assignments,
+// and forwards every frame it emits to sink.
+func runShard(spec Spec, opts ShardOptions, assignments []fabric.Assignment, sink func(workerFrame) error) error {
+	cmd := exec.Command(opts.Command[0], opts.Command[1:]...)
+	cmd.Env = append(os.Environ(), opts.Env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("campaign: starting worker %q: %w", opts.Command[0], err)
+	}
+	in := workerInput{Spec: spec, Assignments: assignments, CacheDir: opts.CacheDir, Parallel: opts.Parallel}
+	encErr := json.NewEncoder(stdin).Encode(in)
+	stdin.Close() //nolint:errcheck // best-effort; the worker sees EOF either way
+
+	var frameErr error
+	sawDone := false
+	dec := json.NewDecoder(stdout)
+	for {
+		var f workerFrame
+		if err := dec.Decode(&f); err != nil {
+			if err != io.EOF && frameErr == nil {
+				frameErr = fmt.Errorf("campaign: reading worker frames: %w", err)
+			}
+			break
+		}
+		if f.Error != "" {
+			frameErr = fmt.Errorf("campaign: worker failed: %s", f.Error)
+			break
+		}
+		if f.Run == nil && !f.Done {
+			continue
+		}
+		if f.Done {
+			sawDone = true
+		}
+		if err := sink(f); err != nil && frameErr == nil {
+			frameErr = err
+		}
+	}
+	// Drain whatever the worker still writes so it can never block on a
+	// full pipe between our last read and its exit.
+	io.Copy(io.Discard, stdout) //nolint:errcheck // draining only
+	waitErr := cmd.Wait()
+	switch {
+	case frameErr != nil:
+		return frameErr
+	case encErr != nil:
+		return fmt.Errorf("campaign: writing worker input: %w", encErr)
+	case waitErr != nil:
+		return fmt.Errorf("campaign: worker exited: %w", waitErr)
+	case !sawDone:
+		return fmt.Errorf("campaign: worker stream ended before its summary frame")
+	}
+	return nil
+}

@@ -94,58 +94,68 @@ func Controllers(o Options) *ControllersResult {
 			}
 		}
 	}
-	results := fanOut(o, cells, func(c controllerCell) *root.Result {
-		cfg := baseConfig(o, root.Mode80211, dur)
-		cfg.Controller = c.ctrl
-		cfg.WarmupSkip = dur / 10
-		var sc *root.Scenario
-		if c.topo == "chain4" {
-			sc = root.NewChain(4, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
-		} else {
-			cfg.MAC.HardwareCWCap = 1 << 10 // MadWifi constraint (§4.1)
-			sc = root.NewTestbed(cfg,
-				root.FlowSpec{Flow: 1, RateBps: saturating},
-				root.FlowSpec{Flow: 2, RateBps: saturating})
-		}
-		script := &dynamics.Script{}
-		switch c.dyn {
-		case "flap":
-			a, b := dynamics.MiddleLink(sc.Mesh, 1)
-			script.Events = dynamics.Flap(a, b, downAt, upAt, true)
-		case "churn":
-			n := dynamics.MiddleRelay(sc.Mesh, 1)
-			script.Events = dynamics.Churn(n, downAt, upAt, false, true)
-		}
-		if len(script.Events) > 0 {
-			if err := sc.AddDynamics(script); err != nil {
-				panic(err)
+	// Each cell's cached value is its scalar summary row, so a warm
+	// fabric store replays the whole matrix without simulating.
+	results := fanOut(o, cells, func(c controllerCell) ControllerRun {
+		cellID := struct {
+			Controller string `json:"controller"`
+			Topology   string `json:"topology"`
+			Dynamics   string `json:"dynamics"`
+		}{c.ctrl, c.topo, c.dyn}
+		return cachedCell(o, "exp.controllers", dur.Seconds(), cellID, func() ControllerRun {
+			cfg := baseConfig(o, root.Mode80211, dur)
+			cfg.Controller = c.ctrl
+			cfg.WarmupSkip = dur / 10
+			var sc *root.Scenario
+			if c.topo == "chain4" {
+				sc = root.NewChain(4, cfg, root.FlowSpec{Flow: 1, RateBps: saturating})
+			} else {
+				cfg.MAC.HardwareCWCap = 1 << 10 // MadWifi constraint (§4.1)
+				sc = root.NewTestbed(cfg,
+					root.FlowSpec{Flow: 1, RateBps: saturating},
+					root.FlowSpec{Flow: 2, RateBps: saturating})
 			}
-		}
-		return sc.Run()
+			script := &dynamics.Script{}
+			switch c.dyn {
+			case "flap":
+				a, b := dynamics.MiddleLink(sc.Mesh, 1)
+				script.Events = dynamics.Flap(a, b, downAt, upAt, true)
+			case "churn":
+				n := dynamics.MiddleRelay(sc.Mesh, 1)
+				script.Events = dynamics.Churn(n, downAt, upAt, false, true)
+			}
+			if len(script.Events) > 0 {
+				if err := sc.AddDynamics(script); err != nil {
+					panic(err)
+				}
+			}
+			res := sc.Run()
+			run := ControllerRun{
+				Controller:    c.ctrl,
+				Topology:      c.topo,
+				Dynamics:      c.dyn,
+				AggKbps:       res.AggKbps,
+				Fairness:      res.Fairness,
+				RecoverySec:   -1,
+				Recovered:     true,
+				OverheadBytes: res.OverheadBytes,
+			}
+			if st := res.Stability; st != nil {
+				run.TailQueuePkts = st.TailMaxQueuePkts
+				run.Recovered = st.Recovered
+				if st.Recovered {
+					run.RecoverySec = st.MaxRecoverySec
+				} else {
+					run.RecoverySec = -2
+				}
+			}
+			return run
+		})
 	})
 
-	for i, c := range cells {
-		res := results[i]
-		run := &ControllerRun{
-			Controller:    c.ctrl,
-			Topology:      c.topo,
-			Dynamics:      c.dyn,
-			AggKbps:       res.AggKbps,
-			Fairness:      res.Fairness,
-			RecoverySec:   -1,
-			Recovered:     true,
-			OverheadBytes: res.OverheadBytes,
-		}
-		if st := res.Stability; st != nil {
-			run.TailQueuePkts = st.TailMaxQueuePkts
-			run.Recovered = st.Recovered
-			if st.Recovered {
-				run.RecoverySec = st.MaxRecoverySec
-			} else {
-				run.RecoverySec = -2
-			}
-		}
-		out.Runs = append(out.Runs, run)
+	for i := range cells {
+		run := results[i]
+		out.Runs = append(out.Runs, &run)
 	}
 
 	out.Report.addf("chain4: saturating flow over a 4-hop chain; parking-lot: testbed F1+F2 (cap 2^10)")

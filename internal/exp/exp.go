@@ -14,7 +14,9 @@ import (
 	"strings"
 
 	root "ezflow"
+	"ezflow/internal/buildinfo"
 	"ezflow/internal/campaign"
+	"ezflow/internal/fabric"
 	"ezflow/internal/mesh"
 	"ezflow/internal/pkt"
 	"ezflow/internal/sim"
@@ -30,6 +32,14 @@ type Options struct {
 	// through the campaign pool and collects them in submission order,
 	// so reports are identical for any value.
 	Parallel int
+	// Cache, when non-nil, is the fabric result store the registry
+	// head-to-head experiments (Controllers, Routing) consult before
+	// simulating a grid cell and fill afterwards — `ezbench -cache`
+	// threads it here, so experiment reruns share the store campaigns
+	// use. Cached cells are the scalar summary rows, keyed by
+	// (experiment, cell, seed, duration) plus the code version, so a
+	// release bump invalidates them exactly like campaign entries.
+	Cache *fabric.Store
 }
 
 // DefaultOptions runs at 1/4 of the paper durations — long enough for the
@@ -75,6 +85,41 @@ func fanOut[A, T any](o Options, items []A, run func(A) T) []T {
 		jobs[i] = func() T { return run(it) }
 	}
 	return campaign.RunAll(o.Parallel, jobs)
+}
+
+// cellKeyMaterial is the canonical description of one cached experiment
+// grid cell. Cell must be a struct with exported fields that uniquely
+// identifies the cell within the experiment.
+type cellKeyMaterial struct {
+	Schema      int     `json:"schema"`
+	Kind        string  `json:"kind"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	Cell        any     `json:"cell"`
+}
+
+// cachedCell satisfies one experiment grid cell from o.Cache, or
+// computes and stores it. The cached payload is the cell's scalar
+// summary row (T must round-trip through JSON), never raw simulator
+// state — traces and series are recomputed, summaries are not. With no
+// cache attached it degrades to a plain call.
+func cachedCell[T any](o Options, kind string, durSec float64, cell any, compute func() T) T {
+	if o.Cache == nil {
+		return compute()
+	}
+	key, err := fabric.NewKey(buildinfo.Release, cellKeyMaterial{
+		Schema: 1, Kind: kind, Seed: o.Seed, DurationSec: durSec, Cell: cell,
+	})
+	if err != nil {
+		return compute()
+	}
+	var out T
+	if o.Cache.Get(key, &out) {
+		return out
+	}
+	v := compute()
+	o.Cache.Put(key, v) //nolint:errcheck // cache writes are best-effort
+	return v
 }
 
 // baseConfig returns the shared simulation configuration.

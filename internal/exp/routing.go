@@ -85,35 +85,41 @@ func Routing(o Options) *RoutingResult {
 			}
 		}
 	}
-	type routingOutcome struct {
-		res     *root.Result
-		hops    int
-		pathETX float64
-	}
-	outcomes := fanOut(o, cells, func(c routingCell) routingOutcome {
-		cfg := baseConfig(o, c.mode, dur)
-		cfg.Routing = c.strategy
-		sc := root.NewRandomLossy(c.nodes, 0, RoutingEdgeLoss, cfg,
-			root.FlowSpec{Flow: 1, RateBps: saturating})
-		// Score the installed route before the run: counters are all zero
-		// here, so PathCost reports the calibrated (not measured) ETX and
-		// every strategy is judged against the same yardstick.
-		path := sc.Mesh.Route(1)
-		metric := &routing.ETX{MinAcked: routing.DefaultOptions().MinAcked}
-		cost := metric.PathCost(sc.Mesh.RoutingGraph(nil), path)
-		return routingOutcome{res: sc.Run(), hops: len(path) - 1, pathETX: cost}
+	// Each cell caches its scalar summary row in the fabric store when
+	// one is attached, so experiment reruns skip the simulations.
+	outcomes := fanOut(o, cells, func(c routingCell) RoutingRun {
+		cellID := struct {
+			Strategy string    `json:"strategy"`
+			Mode     root.Mode `json:"mode"`
+			Nodes    int       `json:"nodes"`
+			EdgeLoss float64   `json:"edge_loss"`
+		}{c.strategy, c.mode, c.nodes, RoutingEdgeLoss}
+		return cachedCell(o, "exp.routing", dur.Seconds(), cellID, func() RoutingRun {
+			cfg := baseConfig(o, c.mode, dur)
+			cfg.Routing = c.strategy
+			sc := root.NewRandomLossy(c.nodes, 0, RoutingEdgeLoss, cfg,
+				root.FlowSpec{Flow: 1, RateBps: saturating})
+			// Score the installed route before the run: counters are all zero
+			// here, so PathCost reports the calibrated (not measured) ETX and
+			// every strategy is judged against the same yardstick.
+			path := sc.Mesh.Route(1)
+			metric := &routing.ETX{MinAcked: routing.DefaultOptions().MinAcked}
+			cost := metric.PathCost(sc.Mesh.RoutingGraph(nil), path)
+			res := sc.Run()
+			return RoutingRun{
+				Strategy: c.strategy,
+				Mode:     c.mode,
+				Nodes:    c.nodes,
+				Hops:     len(path) - 1,
+				PathETX:  cost,
+				Kbps:     res.Flows[1].MeanThroughputKbps,
+			}
+		})
 	})
 
-	for i, c := range cells {
-		oc := outcomes[i]
-		out.Runs = append(out.Runs, &RoutingRun{
-			Strategy: c.strategy,
-			Mode:     c.mode,
-			Nodes:    c.nodes,
-			Hops:     oc.hops,
-			PathETX:  oc.pathETX,
-			Kbps:     oc.res.Flows[1].MeanThroughputKbps,
-		})
+	for i := range cells {
+		run := outcomes[i]
+		out.Runs = append(out.Runs, &run)
 	}
 
 	out.Report.addf("constant-density disks, edge-of-range loss ceiling %.0f%% (mesh.ApplyEdgeLoss), saturating rim flow", RoutingEdgeLoss*100)

@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// benchMaterial approximates a real campaign key: the scalar fields of
+// a grid point plus label and seed, the size class runKey hashes.
+type benchMaterial struct {
+	Schema      int     `json:"schema"`
+	Kind        string  `json:"kind"`
+	Label       string  `json:"label"`
+	Seed        int64   `json:"seed"`
+	Rep         int     `json:"rep"`
+	DurationSec float64 `json:"duration_sec"`
+	Topology    string  `json:"topology"`
+	Mode        int     `json:"mode"`
+	Hops        int     `json:"hops"`
+	RateBps     float64 `json:"rate_bps"`
+}
+
+// BenchmarkCacheKey measures key derivation (canonical JSON + SHA-256),
+// paid once per replication on the cached path.
+func BenchmarkCacheKey(b *testing.B) {
+	m := benchMaterial{
+		Schema: 1, Kind: "campaign.run",
+		Label: "topology=chain mode=802.11 hops=4 rate=2e+06",
+		Seed:  987654321, Rep: 3, DurationSec: 600,
+		Topology: "chain", Mode: 0, Hops: 4, RateBps: 2e6,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Rep = i
+		if _, err := NewKey("bench-v1", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPayload approximates a cached RunResult: a dozen scalars plus a
+// small map.
+type benchPayload struct {
+	AggKbps  float64         `json:"agg_kbps"`
+	Fairness float64         `json:"fairness"`
+	Delay    float64         `json:"delay"`
+	Queue    float64         `json:"queue"`
+	Flows    map[int]float64 `json:"flows"`
+}
+
+// BenchmarkStoreRoundTrip measures one Put plus one Get — the full disk
+// cost a cache hit saves a simulation against.
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "cache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchPayload{AggKbps: 812.5, Fairness: 0.97, Delay: 0.042, Queue: 17,
+		Flows: map[int]float64{1: 420.25, 2: 392.25}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k, err := NewKey("bench-v1", fmt.Sprintf("round-trip-%d", i%256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Put(k, p); err != nil {
+			b.Fatal(err)
+		}
+		var got benchPayload
+		if !s.Get(k, &got) {
+			b.Fatal("miss on a just-written entry")
+		}
+	}
+}

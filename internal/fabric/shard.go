@@ -1,0 +1,40 @@
+// The shard planner: how a campaign grid's replications are dealt
+// across worker processes. Planning is pure arithmetic — which is the
+// point: because every replication's seed is derived from (base seed,
+// point label, rep) rather than from execution order, any partition of
+// the (point, rep) job list produces the same per-run results, and the
+// coordinator can merge shard output by grid position into a result
+// byte-identical to a single-process run.
+package fabric
+
+// Assignment names one replication of a campaign grid: the point's index
+// in enumeration order and the replication number within that point.
+type Assignment struct {
+	Point int `json:"point"`
+	Rep   int `json:"rep"`
+}
+
+// PlanShards deals the nPoints x reps replication jobs round-robin (in
+// point-major job order) across at most shards workers. Round-robin
+// keeps shard loads within one job of each other even when the grid is
+// small, and the deal is deterministic: shard i always receives jobs
+// i, i+shards, i+2*shards, ... Empty shards are trimmed, so the result
+// may have fewer than shards entries.
+func PlanShards(nPoints, reps, shards int) [][]Assignment {
+	if nPoints <= 0 || reps <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	total := nPoints * reps
+	if shards > total {
+		shards = total
+	}
+	plan := make([][]Assignment, shards)
+	for job := 0; job < total; job++ {
+		w := job % shards
+		plan[w] = append(plan[w], Assignment{Point: job / reps, Rep: job % reps})
+	}
+	return plan
+}

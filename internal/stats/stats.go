@@ -62,6 +62,29 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// WelfordState is the serialisable form of a Welford accumulator: the
+// exact running moments, bit for bit. It exists for the campaign fabric
+// — a replication's pooled bin statistics travel through cache entries
+// and worker-process frames as a WelfordState, and because JSON
+// round-trips float64 exactly (Go emits the shortest representation
+// that parses back to the same value), an accumulator restored with
+// SetState merges identically to the live original.
+type WelfordState struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots w's exact internal moments.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// SetState restores the exact moments captured by State, replacing w.
+func (w *Welford) SetState(s WelfordState) {
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+}
+
 // Summary is a serialisable snapshot of a Welford accumulator with the
 // 95% confidence half-width the campaign reports attach to every metric.
 type Summary struct {
