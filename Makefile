@@ -7,7 +7,7 @@ GO ?= go
 EXP ?= scale
 PROFILE_DIR ?= profiles
 
-.PHONY: check test lint staticcheck bench bench-all profile clean
+.PHONY: check test lint staticcheck fuzz bench bench-all profile clean
 
 # check is the tier-1 gate: format, vet, doc lint, staticcheck, build,
 # race tests.
@@ -19,6 +19,16 @@ check: lint staticcheck
 
 test:
 	$(GO) test ./...
+
+# fuzz is a short smoke over the hostile-input decoders: the scenario
+# JSON loader and the shard worker frame protocol (plus the chaos-spec
+# grammar). Ten seconds each is enough to catch decode panics in CI;
+# crank FUZZTIME for a real soak.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz='^FuzzWorkerFrames$$' -fuzztime=$(FUZZTIME) ./internal/campaign
+	$(GO) test -run='^$$' -fuzz='^FuzzParseChaos$$' -fuzztime=$(FUZZTIME) ./internal/campaign
 
 # lint enforces the godoc conventions (package docs everywhere, exported
 # symbol docs in the public ezflow package and all internal packages).

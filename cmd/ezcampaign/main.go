@@ -62,6 +62,19 @@
 // where the interrupted sweep stopped. -worker is the subprocess side of
 // the shard protocol (a JSON job document on stdin, NDJSON result frames
 // on stdout) and is not meant for interactive use.
+//
+// Fault tolerance: sharded workers run supervised — a worker that
+// crashes, corrupts its stream, or (with -liveness) goes silent is
+// killed and its unfinished assignments are re-dealt to a replacement
+// under capped exponential backoff, with merged output still
+// byte-identical to the clean run. An assignment that keeps killing
+// workers is marked failed after -max-retries consecutive no-progress
+// failures and the campaign completes degraded (failed runs carry
+// failed/error in JSON and a failed_runs CSV column, and are excluded
+// from aggregates). -run-timeout bounds each replication's wall clock in
+// any mode; a breach is a structured per-run failure, as is a panic.
+// Every recovery action is counted and reported on a final stderr
+// `faults:` line (silent when the campaign was healthy).
 package main
 
 import (
@@ -122,6 +135,9 @@ func main() {
 		cacheDir = flag.String("cache-dir", "fabric-cache", "fabric store directory (setting it implies -cache)")
 		shards   = flag.Int("shards", 1, "worker subprocesses to fan the grid across (1 = in-process); output is byte-identical for any value")
 		worker   = flag.Bool("worker", false, "run as a shard worker: read a job document on stdin, stream result frames on stdout (internal)")
+		runTO    = flag.Duration("run-timeout", 0, "wall-clock cap per replication (0 = none); a run over the cap is recorded failed, not aborted")
+		liveness = flag.Duration("liveness", 0, "with -shards: kill and replace a worker silent for this long (0 = no deadline); must exceed the slowest single run")
+		retries  = flag.Int("max-retries", 0, "with -shards: consecutive no-progress worker failures before an assignment is marked failed (0 = default 3)")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -223,6 +239,7 @@ func main() {
 	var (
 		res    *campaign.Result
 		cstats campaign.CacheStats
+		faults campaign.FaultCounters
 	)
 	if *shards > 1 {
 		exe, exeErr := os.Executable()
@@ -234,14 +251,21 @@ func main() {
 			dir = *cacheDir
 		}
 		res, cstats, err = campaign.RunSharded(spec, campaign.ShardOptions{
-			Shards:   *shards,
-			Command:  []string{exe, "-worker"},
-			CacheDir: dir,
-			Parallel: *parallel,
-			Progress: progressFn,
+			Shards:     *shards,
+			Command:    []string{exe, "-worker"},
+			CacheDir:   dir,
+			Parallel:   *parallel,
+			RunTimeout: *runTO,
+			Liveness:   *liveness,
+			MaxRetries: *retries,
+			Faults:     &faults,
+			Progress:   progressFn,
 		})
 	} else {
-		eng := campaign.Engine{Parallel: *parallel, Cache: store, Interrupt: interrupt, Progress: progressFn}
+		eng := campaign.Engine{
+			Parallel: *parallel, Cache: store, Interrupt: interrupt, Progress: progressFn,
+			RunTimeout: *runTO, Faults: &faults,
+		}
 		res, err = eng.Run(spec)
 		cstats = eng.CacheStats()
 	}
@@ -300,6 +324,13 @@ func main() {
 	}
 	if useCache {
 		fmt.Fprintf(os.Stderr, "cache: %d hit / %d miss\n", cstats.Hits, cstats.Misses)
+	}
+	// One greppable line whenever the fabric had to handle a fault —
+	// silent on healthy campaigns, and the CI chaos smoke asserts on it.
+	if fs := faults.Snapshot(); fs != (campaign.FaultStats{}) {
+		fmt.Fprintf(os.Stderr,
+			"faults: fabric.workers.failures=%d fabric.workers.restarts=%d campaign.runs.retried=%d campaign.runs.timeout=%d campaign.runs.panicked=%d campaign.runs.failed=%d\n",
+			fs.WorkerFailures, fs.WorkerRestarts, fs.RunsRetried, fs.RunsTimeout, fs.RunsPanicked, fs.RunsFailed)
 	}
 }
 

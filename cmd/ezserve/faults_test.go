@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitBodyTooLarge pins the request-body cap: a submission over
+// maxSubmitBytes is rejected with 413 after reading at most the cap —
+// not buffered wholesale into server memory.
+func TestSubmitBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	body := `{"name":"` + strings.Repeat("x", maxSubmitBytes+1) + `"}`
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submission: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHardenedServer pins the http.Server hardening: header/read/idle
+// deadlines are set (so slowloris clients cannot pin goroutines) while
+// WriteTimeout stays 0 (a write deadline would sever long-lived
+// /events streams mid-campaign).
+func TestHardenedServer(t *testing.T) {
+	srv := hardenedServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-header clients pin goroutines")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: stalled uploads pin goroutines")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alives accumulate")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Error("WriteTimeout set: it would sever long-lived event streams")
+	}
+}
+
+// TestServeFaultSurfacing runs a campaign whose every replication trips
+// the per-run wall-clock timeout and checks the failure is visible
+// everywhere the ops surface promises: the campaign completes degraded
+// (not failed), its /status carries the fault tallies, the result JSON
+// marks the runs failed, the CSV gains failed_runs=1 rows, and the
+// server-wide /stats and /metrics aggregate the counts.
+func TestServeFaultSurfacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	s, err := newServer(serverOptions{parallel: 2, maxActive: 1, runTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.shutdown()
+		s.wait()
+	})
+
+	st := submit(t, ts, submitBody)
+	fin := await(t, ts, st.ID)
+	if fin.State != "completed" {
+		t.Fatalf("state = %q, want completed (degradation must not fail the campaign): %s", fin.State, fin.Error)
+	}
+	if fin.Faults == nil || fin.Faults.RunsTimeout != 4 || fin.Faults.RunsFailed != 4 {
+		t.Fatalf("status faults = %+v, want 4 timeouts / 4 failed", fin.Faults)
+	}
+
+	res := get(t, ts.URL+"/campaigns/"+st.ID+"/result", http.StatusOK)
+	if !bytes.Contains(res, []byte(`"failed": true`)) ||
+		!bytes.Contains(res, []byte("wall-clock timeout")) {
+		t.Error("result JSON lacks the structured run failures")
+	}
+	csv := get(t, ts.URL+"/campaigns/"+st.ID+"/result.csv", http.StatusOK)
+	if !bytes.Contains(csv, []byte("failed_runs")) || !bytes.Contains(csv, []byte(",1\n")) {
+		t.Error("result CSV lacks the failed_runs column or failed rows")
+	}
+
+	stats := get(t, ts.URL+"/stats", http.StatusOK)
+	if !bytes.Contains(stats, []byte(`"runs_timeout":4`)) {
+		t.Errorf("/stats lacks aggregated fault counts: %s", stats)
+	}
+	metrics := get(t, ts.URL+"/metrics", http.StatusOK)
+	for _, gauge := range []string{
+		"campaign.runs.timeout", "campaign.runs.failed",
+		"fabric.workers.failures", "fabric.workers.restarts",
+	} {
+		if !bytes.Contains(metrics, []byte(gauge)) {
+			t.Errorf("/metrics lacks the %s gauge", gauge)
+		}
+	}
+}

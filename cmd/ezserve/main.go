@@ -67,6 +67,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "max replications in flight per campaign (0 = GOMAXPROCS)")
 		maxActive = flag.Int("max-active", 2, "campaigns executing concurrently; further submissions queue")
 		prune     = flag.Int("prune", 0, "evict oldest cache entries beyond this count at startup (0 = keep all)")
+		runTO     = flag.Duration("run-timeout", 0, "wall-clock cap per replication (0 = none); a run over the cap is recorded failed, not a failed campaign")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -76,9 +77,10 @@ func main() {
 	}
 
 	s, err := newServer(serverOptions{
-		cacheDir:  *cacheDir,
-		parallel:  *parallel,
-		maxActive: *maxActive,
+		cacheDir:   *cacheDir,
+		parallel:   *parallel,
+		maxActive:  *maxActive,
+		runTimeout: *runTO,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -93,7 +95,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	httpSrv := &http.Server{Handler: s.handler()}
+	httpSrv := hardenedServer(s.handler())
 	fmt.Fprintf(os.Stderr, "ezserve: serving campaigns at http://%s (parallel %d, max-active %d",
 		ln.Addr(), resolveParallel(*parallel), *maxActive)
 	if s.cache != nil {

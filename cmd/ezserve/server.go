@@ -6,6 +6,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -21,10 +22,16 @@ import (
 
 // serverOptions configures a campaign server.
 type serverOptions struct {
-	cacheDir  string // fabric store directory; empty disables caching
-	parallel  int    // per-campaign worker-pool width (0 = GOMAXPROCS)
-	maxActive int    // campaigns executing at once; the rest queue
+	cacheDir   string        // fabric store directory; empty disables caching
+	parallel   int           // per-campaign worker-pool width (0 = GOMAXPROCS)
+	maxActive  int           // campaigns executing at once; the rest queue
+	runTimeout time.Duration // per-replication wall-clock cap (0 = none)
 }
+
+// maxSubmitBytes caps a POST /campaigns body. Real submissions are a
+// few KiB even with an embedded scenario; the cap turns a hostile or
+// runaway body into a 413 instead of unbounded server memory.
+const maxSubmitBytes = 1 << 20
 
 // server owns the campaign registry and the shared fabric store. One
 // goroutine per submitted campaign executes it through an Engine; every
@@ -52,6 +59,11 @@ type server struct {
 	completed   atomic.Int64
 	failed      atomic.Int64
 	interrupted atomic.Int64
+
+	// faults aggregates fault-handling events across every campaign
+	// (shared with each engine via Engine.Faults); exported as the
+	// fabric.workers.* and campaign.runs.* fault gauges.
+	faults campaign.FaultCounters
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -94,7 +106,11 @@ type jobStatus struct {
 	// far (both 0 when the server runs cache-less).
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
-	Error       string `json:"error,omitempty"`
+	// Faults carries the campaign's own fault tallies (timeouts, panics,
+	// failed runs) when any occurred; healthy campaigns omit it, keeping
+	// their status lines unchanged.
+	Faults *campaign.FaultStats `json:"faults,omitempty"`
+	Error  string               `json:"error,omitempty"`
 }
 
 // submitRequest is the POST /campaigns body: either CLI-style sweep
@@ -151,6 +167,15 @@ func newServer(o serverOptions) (*server, error) {
 	reg.Gauge("serve.campaigns.completed", func() float64 { return float64(s.completed.Load()) })
 	reg.Gauge("serve.campaigns.failed", func() float64 { return float64(s.failed.Load()) })
 	reg.Gauge("serve.campaigns.interrupted", func() float64 { return float64(s.interrupted.Load()) })
+	// Fault-handling gauges (PR 9). Worker failures/restarts stay 0 while
+	// ezserve executes in-process only, but the schema matches ezcampaign's
+	// `faults:` summary so dashboards need one shape.
+	reg.Gauge("fabric.workers.failures", func() float64 { return float64(s.faults.Snapshot().WorkerFailures) })
+	reg.Gauge("fabric.workers.restarts", func() float64 { return float64(s.faults.Snapshot().WorkerRestarts) })
+	reg.Gauge("campaign.runs.retried", func() float64 { return float64(s.faults.Snapshot().RunsRetried) })
+	reg.Gauge("campaign.runs.timeout", func() float64 { return float64(s.faults.Snapshot().RunsTimeout) })
+	reg.Gauge("campaign.runs.panicked", func() float64 { return float64(s.faults.Snapshot().RunsPanicked) })
+	reg.Gauge("campaign.runs.failed", func() float64 { return float64(s.faults.Snapshot().RunsFailed) })
 	s.reg = reg
 	return s, nil
 }
@@ -163,6 +188,21 @@ func (s *server) shutdown() {
 
 // wait blocks until every campaign goroutine has finished.
 func (s *server) wait() { s.jobWG.Wait() }
+
+// hardenedServer wraps the handler in an http.Server with slow-client
+// protection: a slowloris peer trickling header bytes, a stalled body
+// upload, or a pile of idle keep-alive connections each hits a deadline
+// instead of pinning a goroutine forever. WriteTimeout stays 0
+// deliberately — /campaigns/{id}/events streams for a campaign's whole
+// lifetime, and a write deadline would sever it mid-run.
+func hardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
 
 // handler builds the route table.
 func (s *server) handler() http.Handler {
@@ -201,9 +241,15 @@ GET  /debug/pprof/             profiling
 // are a 400, not a failed job), registers the campaign, and starts it.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("submission body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding submission: %v", err))
 		return
 	}
@@ -236,10 +282,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j := &job{
 		eng: &campaign.Engine{
-			Parallel:  s.opts.parallel,
-			Cache:     s.cache,
-			Interrupt: s.interrupt,
-			RunActive: &s.runActive,
+			Parallel:   s.opts.parallel,
+			Cache:      s.cache,
+			Interrupt:  s.interrupt,
+			RunActive:  &s.runActive,
+			RunTimeout: s.opts.runTimeout,
+			Faults:     &s.faults,
 		},
 		spec:   spec,
 		state:  "queued",
@@ -406,6 +454,8 @@ type statsResponse struct {
 		Failed      int64 `json:"failed"`
 		Interrupted int64 `json:"interrupted"`
 	} `json:"campaigns"`
+	// Faults aggregates fault-handling events across all campaigns.
+	Faults campaign.FaultStats `json:"faults"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -422,6 +472,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Campaigns.Completed = s.completed.Load()
 	out.Campaigns.Failed = s.failed.Load()
 	out.Campaigns.Interrupted = s.interrupted.Load()
+	out.Faults = s.faults.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out) //nolint:errcheck // client went away
 }
@@ -450,6 +501,10 @@ func terminal(state string) bool {
 // mid-run is still consistent enough to serve.
 func (j *job) snapshot() jobStatus {
 	cs := j.eng.CacheStats()
+	var faults *campaign.FaultStats
+	if fs := j.eng.FaultStats(); fs != (campaign.FaultStats{}) {
+		faults = &fs
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobStatus{
@@ -462,6 +517,7 @@ func (j *job) snapshot() jobStatus {
 		Reps:        j.reps,
 		CacheHits:   cs.Hits,
 		CacheMisses: cs.Misses,
+		Faults:      faults,
 		Error:       j.errMsg,
 	}
 }

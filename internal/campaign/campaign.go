@@ -440,6 +440,16 @@ type RunResult struct {
 	// third after a fault (0 when the run had no fault) — the divergence
 	// indicator of the stability experiments.
 	TailQueuePkts float64 `json:"tail_queue_pkts"`
+	// Failed marks a replication that produced no result: it panicked,
+	// exceeded the per-run wall-clock timeout, or its assignment kept
+	// killing workers until the supervisor gave up on it. Failed runs are
+	// excluded from aggregation (Aggregate.FailedRuns counts them) and
+	// never cached. Both fields are empty on healthy runs, so campaign
+	// output without failures is byte-identical to pre-failure-model
+	// output.
+	Failed bool `json:"failed,omitempty"`
+	// Error describes why the run failed; empty when Failed is false.
+	Error string `json:"error,omitempty"`
 	// FlowKbps is each flow's mean goodput.
 	FlowKbps map[ezflow.FlowID]float64 `json:"flow_kbps"`
 
@@ -468,6 +478,11 @@ type Aggregate struct {
 	// TailQueuePkts summarises the post-fault tail relay backlog across
 	// replications of faulted runs.
 	TailQueuePkts stats.Summary `json:"tail_queue_pkts"`
+	// FailedRuns counts replications of this point that ended marked
+	// failed (and are therefore absent from every summary above). A
+	// non-zero count is the graceful-degradation marker: the campaign
+	// completed, but this cell is partial.
+	FailedRuns int `json:"failed_runs,omitempty"`
 }
 
 // Result is a completed campaign: per-point aggregates plus every
@@ -505,8 +520,23 @@ type Engine struct {
 	// replication that actually simulates — cache hits never touch it.
 	// It is the worker-utilization probe of cmd/ezserve.
 	RunActive *atomic.Int64
+	// RunTimeout, when positive, caps each replication's wall-clock time:
+	// a run still simulating past the deadline is abandoned and recorded
+	// as a structured per-run failure instead of hanging the campaign.
+	// The abandoned goroutine keeps running until its simulation returns
+	// (in-process isolation cannot kill it — use -shards for hard
+	// isolation); its late result is discarded. 0 disables the timeout,
+	// which is the default because a timeout makes output timing-
+	// dependent and therefore non-reproducible on pathological runs.
+	RunTimeout time.Duration
+	// Faults, when non-nil, additionally receives this engine's fault
+	// events — the aggregation hook for callers running many engines
+	// (cmd/ezserve's /metrics gauges). The engine always tracks its own
+	// per-campaign counters too; read them with FaultStats.
+	Faults *FaultCounters
 
 	hits, misses atomic.Uint64
+	faults       FaultCounters
 }
 
 // CacheStats reports the engine's cumulative cache traffic across its
@@ -514,6 +544,13 @@ type Engine struct {
 // concurrently with Run — ezserve polls it for live status.
 func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}
+
+// FaultStats reports the engine's cumulative fault-handling events
+// (timeouts, recovered panics, failed runs). Safe to call concurrently
+// with Run — ezserve polls it for live status.
+func (e *Engine) FaultStats() FaultStats {
+	return e.faults.Snapshot()
 }
 
 // ErrInterrupted is returned by Engine.Run when its Interrupt channel
@@ -568,7 +605,9 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 // exec satisfies one replication: from the cache when possible,
 // otherwise by simulating and (best-effort) caching the outcome. Cache
 // write failures never fail a run — the result is simply recomputed
-// next time.
+// next time. Failed runs (timeout, panic) are never cached: a timeout
+// is environment-dependent and a panic may be fixed by the next code
+// version, so both must re-execute on retry.
 func (e *Engine) exec(spec Spec, p Point, rep int, durSec float64) RunResult {
 	if e.Cache == nil {
 		return e.simulate(spec, p, rep, durSec)
@@ -584,24 +623,30 @@ func (e *Engine) exec(spec Spec, p Point, rep int, durSec float64) RunResult {
 	}
 	e.misses.Add(1)
 	rr := e.simulate(spec, p, rep, durSec)
-	e.Cache.Put(key, wireFromRun(rr)) //nolint:errcheck // cache writes are best-effort
+	if !rr.Failed {
+		e.Cache.Put(key, wireFromRun(rr)) //nolint:errcheck // cache writes are best-effort
+	}
 	return rr
 }
 
-// simulate runs one replication, tracking worker utilization.
+// simulate runs one replication under the engine's isolation policy
+// (panic recovery, optional wall-clock timeout), tracking worker
+// utilization.
 func (e *Engine) simulate(spec Spec, p Point, rep int, durSec float64) RunResult {
 	if e.RunActive != nil {
 		e.RunActive.Add(1)
 		defer e.RunActive.Add(-1)
 	}
-	return runOne(spec, p, rep, durSec)
+	return e.runIsolated(spec, p, rep, durSec)
 }
 
 // assemble aggregates the grid's replications (in grid order: the run
 // for (point i, rep r) sits at runs[i*reps+r]) into the campaign
 // result. It is shared by the in-process engine and the sharded
 // coordinator, which is what makes shard-merged output byte-identical
-// to a single-process run.
+// to a single-process run. Failed replications are counted per point
+// and excluded from every accumulator — a degraded cell reports the
+// statistics of its surviving runs.
 func assemble(spec Spec, points []Point, reps int, runs []RunResult) *Result {
 	res := &Result{Spec: spec, Runs: runs}
 	for i, p := range points {
@@ -609,6 +654,10 @@ func assemble(spec Spec, points []Point, reps int, runs []RunResult) *Result {
 		var aggW, fairW, delayW, queueW, binW, recW, tailW stats.Welford
 		for rep := 0; rep < reps; rep++ {
 			r := runs[i*reps+rep]
+			if r.Failed {
+				agg.FailedRuns++
+				continue
+			}
 			aggW.Add(r.AggKbps)
 			fairW.Add(r.Fairness)
 			delayW.Add(r.MeanDelaySec)

@@ -1,0 +1,149 @@
+// The chaos harness: deterministic fault injection for shard workers,
+// used to prove the supervisor's recovery paths. A worker launched with
+// the EZ_CHAOS environment variable set sabotages its own frame stream
+// at prescribed points, e.g.
+//
+//	EZ_CHAOS=crash:2,hang:5
+//
+// The spec grammar is a comma-separated list of kind:n entries, where n
+// is the 1-based index of the result frame the fault fires at (within
+// one worker process — replacement workers inherit the variable and
+// count their own frames from 1, so a fault with n greater than the
+// remaining assignments simply never fires and the incarnation
+// completes):
+//
+//	crash:n     exit(7) instead of emitting the nth frame
+//	hang:n      block forever instead of emitting the nth frame (the
+//	            coordinator's liveness deadline must reap it)
+//	garble:n    emit a line of non-JSON garbage instead of the nth frame
+//	trunc:n     emit the first half of the nth frame, then exit(7)
+//	dup:n       emit the nth frame twice
+//	earlydone:n emit a premature summary frame instead of the nth frame,
+//	            then exit(0) — the "done with wrong counts" fault
+//
+// Faults are deterministic given the worker's frame order; chaos tests
+// run workers at parallel 1, where frames follow assignment order.
+// Every fault flushes buffered frames first, so "crash at frame n"
+// always means "frames 1..n-1 were delivered".
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// chaosEnv is the environment variable WorkerMain reads the fault spec
+// from.
+const chaosEnv = "EZ_CHAOS"
+
+// chaosSpec holds the parsed fault schedule; 0 means "never fire".
+type chaosSpec struct {
+	crash     int
+	hang      int
+	garble    int
+	trunc     int
+	dup       int
+	earlyDone int
+}
+
+// active reports whether any fault is scheduled.
+func (c chaosSpec) active() bool {
+	return c != chaosSpec{}
+}
+
+// parseChaos parses the EZ_CHAOS grammar. An empty spec is valid (no
+// faults); a malformed one is an error so typos fail loudly instead of
+// silently running a clean campaign that claims to be a chaos test.
+func parseChaos(s string) (chaosSpec, error) {
+	var c chaosSpec
+	if s == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return c, fmt.Errorf("campaign: chaos entry %q is not kind:n", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return c, fmt.Errorf("campaign: chaos entry %q needs a positive frame index", part)
+		}
+		switch kind {
+		case "crash":
+			c.crash = n
+		case "hang":
+			c.hang = n
+		case "garble":
+			c.garble = n
+		case "trunc":
+			c.trunc = n
+		case "dup":
+			c.dup = n
+		case "earlydone":
+			c.earlyDone = n
+		default:
+			return c, fmt.Errorf("campaign: unknown chaos kind %q (want crash|hang|garble|trunc|dup|earlydone)", kind)
+		}
+	}
+	return c, nil
+}
+
+// chaosEmitter wraps the worker's frame encoder and fires the scheduled
+// faults. It owns the worker's buffered writer so it can flush delivered
+// frames before sabotaging the stream.
+type chaosEmitter struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	spec  chaosSpec
+	frame int // result frames attempted so far
+}
+
+// newChaosEmitter builds the emitter; with an inactive spec it is a
+// plain encoder.
+func newChaosEmitter(bw *bufio.Writer, spec chaosSpec) *chaosEmitter {
+	return &chaosEmitter{bw: bw, enc: json.NewEncoder(bw), spec: spec}
+}
+
+// emit writes one frame, or the scheduled fault in its place.
+func (c *chaosEmitter) emit(f workerFrame) error {
+	if !c.spec.active() {
+		return c.enc.Encode(f)
+	}
+	c.frame++
+	switch c.frame {
+	case c.spec.crash:
+		c.bw.Flush() //nolint:errcheck // sabotage path
+		os.Exit(7)
+	case c.spec.hang:
+		c.bw.Flush() //nolint:errcheck // sabotage path
+		select {}    // block forever; the coordinator's liveness deadline reaps us
+	case c.spec.garble:
+		_, err := io.WriteString(c.bw, "{this is not a frame\n")
+		return err
+	case c.spec.trunc:
+		b, err := json.Marshal(f)
+		if err != nil {
+			return err
+		}
+		c.bw.Write(b[:len(b)/2]) //nolint:errcheck // sabotage path
+		c.bw.Flush()             //nolint:errcheck // sabotage path
+		os.Exit(7)
+	case c.spec.dup:
+		if err := c.enc.Encode(f); err != nil {
+			return err
+		}
+		return c.enc.Encode(f)
+	case c.spec.earlyDone:
+		if err := c.enc.Encode(workerFrame{Done: true}); err != nil {
+			return err
+		}
+		c.bw.Flush() //nolint:errcheck // sabotage path
+		os.Exit(0)
+	}
+	return c.enc.Encode(f)
+}

@@ -1,0 +1,263 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    chaosSpec
+		wantErr string
+	}{
+		{in: "", want: chaosSpec{}},
+		{in: "crash:2", want: chaosSpec{crash: 2}},
+		{in: "crash:1,hang:3, garble:2", want: chaosSpec{crash: 1, hang: 3, garble: 2}},
+		{in: "trunc:4,dup:1,earlydone:9", want: chaosSpec{trunc: 4, dup: 1, earlyDone: 9}},
+		{in: "crash", wantErr: "not kind:n"},
+		{in: "crash:0", wantErr: "positive frame index"},
+		{in: "crash:-1", wantErr: "positive frame index"},
+		{in: "crash:x", wantErr: "positive frame index"},
+		{in: "fire:2", wantErr: "unknown chaos kind"},
+	}
+	for _, c := range cases {
+		got, err := parseChaos(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseChaos(%q) err = %v, want %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseChaos(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseChaos(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestChaosRecovery is the supervision pin: for every injected fault
+// kind — a worker crash, a truncated frame, garbage on the stream, a
+// duplicated run frame, a premature summary, a hang — the supervisor
+// kills and replaces workers until the campaign completes, and the
+// merged JSON/CSV output is byte-identical to a clean single-process
+// -parallel 1 run. Workers run at parallel 1 so chaos frame indices are
+// deterministic; a shared cache makes each retry replay finished work.
+func TestChaosRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations in subprocesses")
+	}
+	spec := fabricSpec()
+	base := Engine{Parallel: 1}
+	baseRes, err := base.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, wantCSV := emit(t, baseRes)
+	cmd, env := workerCommand(t)
+
+	cases := []struct {
+		chaos    string
+		liveness time.Duration
+	}{
+		{chaos: "crash:2"},
+		{chaos: "trunc:2"},
+		{chaos: "garble:2"},
+		{chaos: "dup:2"},
+		{chaos: "earlydone:2"},
+		{chaos: "hang:2", liveness: time.Second},
+		{chaos: "crash:2,garble:4"},
+	}
+	for _, c := range cases {
+		t.Run(c.chaos, func(t *testing.T) {
+			var faults FaultCounters
+			res, _, err := RunSharded(spec, ShardOptions{
+				Shards:   1,
+				Command:  cmd,
+				Env:      append(env, "EZ_CHAOS="+c.chaos),
+				CacheDir: t.TempDir(),
+				Parallel: 1,
+				Liveness: c.liveness,
+				Backoff:  time.Millisecond,
+				Faults:   &faults,
+			})
+			if err != nil {
+				t.Fatalf("campaign did not survive %s: %v", c.chaos, err)
+			}
+			js, csv := emit(t, res)
+			if !bytes.Equal(js, wantJSON) {
+				t.Error("chaos-recovered JSON diverges from the clean run")
+			}
+			if !bytes.Equal(csv, wantCSV) {
+				t.Error("chaos-recovered CSV diverges from the clean run")
+			}
+			fs := faults.Snapshot()
+			if fs.WorkerFailures == 0 || fs.WorkerRestarts == 0 {
+				t.Errorf("faults = %+v, want observed failures and restarts under %s", fs, c.chaos)
+			}
+			if fs.RunsRetried == 0 {
+				t.Errorf("faults = %+v, want re-dealt assignments under %s", fs, c.chaos)
+			}
+			if fs.RunsFailed != 0 {
+				t.Errorf("faults = %+v: a recoverable fault must not fail runs", fs)
+			}
+		})
+	}
+}
+
+// TestChaosDegradesGracefully pins the degradation policy: a worker
+// that dies before emitting anything (crash at frame 1) can never make
+// progress, so after MaxRetries consecutive failures each assignment is
+// marked failed — and the campaign still completes, with every run
+// carrying a structured error, every aggregate counting its failed
+// replications, and nothing poisoning the cache.
+func TestChaosDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	spec := fabricSpec()
+	cmd, env := workerCommand(t)
+	var faults FaultCounters
+	res, _, err := RunSharded(spec, ShardOptions{
+		Shards:     1,
+		Command:    cmd,
+		Env:        append(env, "EZ_CHAOS=crash:1"),
+		Parallel:   1,
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+		Faults:     &faults,
+	})
+	if err != nil {
+		t.Fatalf("degradation aborted the campaign: %v", err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("got %d runs, want the full 4-slot grid", len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		if !r.Failed {
+			t.Errorf("run (point %d, rep %d) not marked failed under crash:1", r.Point, r.Rep)
+		}
+		if !strings.Contains(r.Error, "abandoned after 2 consecutive worker failures") {
+			t.Errorf("run error = %q, want the abandonment report", r.Error)
+		}
+		if r.Seed == 0 {
+			t.Errorf("failed run (point %d, rep %d) lost its derived seed", r.Point, r.Rep)
+		}
+	}
+	for _, a := range res.Points {
+		if a.FailedRuns != 2 {
+			t.Errorf("point %q failed_runs = %d, want 2", a.Label, a.FailedRuns)
+		}
+		if a.AggKbps.N != 0 {
+			t.Errorf("point %q aggregated %d failed runs", a.Label, a.AggKbps.N)
+		}
+	}
+	fs := faults.Snapshot()
+	if fs.RunsFailed != 4 {
+		t.Errorf("runs_failed = %d, want 4", fs.RunsFailed)
+	}
+	if fs.WorkerFailures != 8 {
+		// 4 assignments x MaxRetries(2) consecutive failures each.
+		t.Errorf("worker_failures = %d, want 8", fs.WorkerFailures)
+	}
+
+	// The degraded result must flow through the sinks: failed/error in
+	// JSON, the failed_runs CSV column, the FAILED report line.
+	js, csv := emit(t, res)
+	if !bytes.Contains(js, []byte(`"failed": true`)) {
+		t.Error("JSON output lacks the failed marker")
+	}
+	if !strings.Contains(string(csv), ",1\n") {
+		t.Error("CSV output lacks failed_runs=1 rows")
+	}
+	var report bytes.Buffer
+	if err := (ReportSink{W: &report}).Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "FAILED 2/2 runs") {
+		t.Errorf("report lacks the FAILED line:\n%s", report.String())
+	}
+}
+
+// TestChaosPartialPoison pins the done-with-wrong-counts path: a worker
+// that exits cleanly while claiming completion with assignments still
+// unfinished (earlydone:1 — it claims done before its first run) is a
+// retryable protocol violation, not a success, and with no progress
+// possible the assignments eventually degrade through the same
+// abandonment policy as crashes.
+func TestChaosPartialPoison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	spec := fabricSpec()
+	cmd, env := workerCommand(t)
+	var faults FaultCounters
+	res, _, err := RunSharded(spec, ShardOptions{
+		Shards:     1,
+		Command:    cmd,
+		Env:        append(env, "EZ_CHAOS=earlydone:1"),
+		Parallel:   1,
+		MaxRetries: 1,
+		Backoff:    time.Millisecond,
+		Faults:     &faults,
+	})
+	if err != nil {
+		t.Fatalf("campaign aborted: %v", err)
+	}
+	for _, r := range res.Runs {
+		if !r.Failed {
+			t.Fatalf("run (point %d, rep %d) not failed under earlydone:1", r.Point, r.Rep)
+		}
+		if !strings.Contains(r.Error, "unfinished") {
+			t.Errorf("run error = %q, want the done-with-wrong-counts report", r.Error)
+		}
+	}
+}
+
+// TestShardWorkerStderrInError pins the stderr capture: when a worker
+// dies without speaking the protocol, its last stderr bytes ride the
+// failure into the degraded runs' error strings, so shard failures are
+// diagnosable without re-running.
+func TestShardWorkerStderrInError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs subprocesses")
+	}
+	spec := fabricSpec()
+	res, _, err := RunSharded(spec, ShardOptions{
+		Shards:     1,
+		Command:    []string{"/bin/sh", "-c", "echo shard-worker-boom >&2; exit 3"},
+		MaxRetries: 1,
+		Backoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("campaign aborted: %v", err)
+	}
+	for _, r := range res.Runs {
+		if !r.Failed {
+			t.Fatal("runs must degrade when the worker always dies")
+		}
+		if !strings.Contains(r.Error, "worker stderr: shard-worker-boom") {
+			t.Errorf("run error = %q, want the captured stderr tail", r.Error)
+		}
+		if !strings.Contains(r.Error, "exit status 3") {
+			t.Errorf("run error = %q, want the exit status", r.Error)
+		}
+	}
+}
+
+// TestTailBuffer pins the stderr ring: only the last max bytes survive.
+func TestTailBuffer(t *testing.T) {
+	tb := newTailBuffer(8)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(tb, "line%d\n", i)
+	}
+	if got := tb.String(); got != "3\nline4" {
+		t.Errorf("tail = %q, want the final 8 bytes trimmed", got)
+	}
+}

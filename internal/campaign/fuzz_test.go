@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkerFrames drives the coordinator's frame decoder — the same
+// json.Decoder loop runShard runs against worker stdout — over
+// arbitrary byte streams. A worker compromised by chaos (or a bug) can
+// emit anything, so the decode path must surface an error or EOF for
+// every input, never panic or spin. The corpus seeds with a genuine
+// run + summary exchange and the chaos harness's garbled line.
+func FuzzWorkerFrames(f *testing.F) {
+	wr := wireFromRun(RunResult{Point: 1, Label: "hops=2", Rep: 0, Seed: 42, AggKbps: 512.5})
+	var seed bytes.Buffer
+	enc := json.NewEncoder(&seed)
+	enc.Encode(workerFrame{Run: &wr})                            //nolint:errcheck // seeding
+	enc.Encode(workerFrame{Done: true, Hits: 3, RunsTimeout: 1}) //nolint:errcheck // seeding
+	f.Add(seed.Bytes())
+	f.Add([]byte("{this is not a frame\n"))
+	f.Add([]byte(`{"error":"worker failed"}`))
+	f.Add([]byte(`{"run":{"point":0,"rep":0}}{"done":true}`))
+	f.Add([]byte(`{"run":null,"done":false}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for frames := 0; ; frames++ {
+			if frames > 10000 {
+				t.Fatal("decoder neither errored nor hit EOF")
+			}
+			var fr workerFrame
+			if err := dec.Decode(&fr); err != nil {
+				// Both EOF (clean stream end) and a decode error (the
+				// coordinator kills the worker) are acceptable terminal
+				// states; hanging or panicking are not.
+				return
+			}
+			if fr.Run != nil {
+				// The coordinator indexes frames by (Point, Rep); touching
+				// them mirrors what the sink does with a decoded frame.
+				_ = fr.Run.Point*2 + fr.Run.Rep
+			}
+		}
+	})
+}
+
+// FuzzParseChaos pins the chaos-spec grammar: any input either parses
+// to a schedule or errors — a typo'd spec must fail loudly rather than
+// run a clean campaign that claims to be a chaos test.
+func FuzzParseChaos(f *testing.F) {
+	f.Add("crash:2,hang:5")
+	f.Add("garble:1")
+	f.Add("trunc:3,dup:2,earlydone:7")
+	f.Add("crash:")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := parseChaos(s)
+		if err != nil {
+			return
+		}
+		if s == "" && spec.active() {
+			t.Fatal("empty spec parsed active")
+		}
+	})
+}

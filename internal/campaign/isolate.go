@@ -1,0 +1,81 @@
+// Run-level isolation: the layer between the worker pool and one
+// simulation that turns a diverging or crashing replication into a
+// structured per-run failure instead of a dead campaign.
+//
+// Two faults are contained here. A panic anywhere inside a replication
+// (scenario build, simulation, metric extraction) is recovered and
+// recorded as a failed RunResult — each run owns its entire simulator
+// state, so a recovered panic cannot corrupt its siblings. A run that
+// exceeds Engine.RunTimeout wall-clock seconds is abandoned: the
+// replication's goroutine keeps simulating (goroutines cannot be
+// killed), but its eventual result is discarded and the campaign moves
+// on with a timeout failure in that grid slot. Hard isolation — where a
+// runaway simulation's CPU is actually reclaimed — is what `-shards`
+// process workers plus the coordinator's liveness deadline provide.
+package campaign
+
+import (
+	"fmt"
+	"time"
+)
+
+// runReplication is the simulation entry point, indirected so isolation
+// tests can substitute a hanging or panicking run without needing a
+// pathological scenario.
+var runReplication = runOne
+
+// runIsolated executes one replication under the engine's isolation
+// policy. Without a timeout it stays on the caller's goroutine (the
+// common path allocates nothing extra); with one it races the guarded
+// run against the deadline.
+func (e *Engine) runIsolated(spec Spec, p Point, rep int, durSec float64) RunResult {
+	if e.RunTimeout <= 0 {
+		return e.runGuarded(spec, p, rep, durSec)
+	}
+	done := make(chan RunResult, 1)
+	go func() { done <- e.runGuarded(spec, p, rep, durSec) }()
+	timer := time.NewTimer(e.RunTimeout)
+	defer timer.Stop()
+	select {
+	case rr := <-done:
+		return rr
+	case <-timer.C:
+		e.countFault((*FaultCounters).addRunTimeout)
+		return e.failRun(spec, p, rep,
+			fmt.Sprintf("run exceeded the %v wall-clock timeout", e.RunTimeout))
+	}
+}
+
+// runGuarded runs one replication with panic containment.
+func (e *Engine) runGuarded(spec Spec, p Point, rep int, durSec float64) (rr RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.countFault((*FaultCounters).addRunPanic)
+			rr = e.failRun(spec, p, rep, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	return runReplication(spec, p, rep, durSec)
+}
+
+// failRun builds the structured failure result for one replication and
+// counts it. RecoverySec keeps the no-fault sentinel so downstream
+// consumers that ignore Failed still read consistent sentinels.
+func (e *Engine) failRun(spec Spec, p Point, rep int, msg string) RunResult {
+	e.countFault((*FaultCounters).addRunFailed)
+	return RunResult{
+		Point: p.Index, Label: p.Label, Rep: rep,
+		Seed:        DeriveSeed(spec.BaseSeed, p.Label, rep),
+		RecoverySec: -1,
+		Failed:      true,
+		Error:       msg,
+	}
+}
+
+// countFault applies one fault event to the engine's own counters and,
+// when configured, to the shared aggregation counters.
+func (e *Engine) countFault(f func(*FaultCounters)) {
+	f(&e.faults)
+	if e.Faults != nil {
+		f(e.Faults)
+	}
+}

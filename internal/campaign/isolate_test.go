@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ezflow/internal/fabric"
+)
+
+// isolateSpec is a 1-point, 2-rep grid for the isolation tests — small
+// enough that a stubbed runReplication dominates the runtime.
+func isolateSpec() Spec {
+	return Spec{
+		Name:        "isolate-test",
+		Axes:        []Axis{{Name: "hops", Values: []string{"2"}}},
+		Reps:        2,
+		BaseSeed:    5,
+		DurationSec: 5,
+	}
+}
+
+// stubRuns swaps the simulation entry point for the test's double and
+// restores it on cleanup. Tests using it must not run in parallel.
+func stubRuns(t *testing.T, fn func(Spec, Point, int, float64) RunResult) {
+	t.Helper()
+	orig := runReplication
+	runReplication = fn
+	t.Cleanup(func() { runReplication = orig })
+}
+
+// TestRunPanicRecovered pins panic containment: a replication that
+// panics becomes a structured failed run; its sibling still completes
+// and still aggregates.
+func TestRunPanicRecovered(t *testing.T) {
+	stubRuns(t, func(spec Spec, p Point, rep int, durSec float64) RunResult {
+		if rep == 0 {
+			panic("injected: simulator blew up")
+		}
+		return RunResult{Point: p.Index, Label: p.Label, Rep: rep,
+			Seed: DeriveSeed(spec.BaseSeed, p.Label, rep), AggKbps: 100, RecoverySec: -1}
+	})
+	var shared FaultCounters
+	eng := Engine{Parallel: 1, Faults: &shared}
+	res, err := eng.Run(isolateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, good := res.Runs[0], res.Runs[1]
+	if !bad.Failed || !strings.Contains(bad.Error, "panic: injected") {
+		t.Errorf("rep 0 = %+v, want a recovered-panic failure", bad)
+	}
+	if bad.Seed != DeriveSeed(5, bad.Label, 0) {
+		t.Errorf("failed run seed = %d, want the derived seed", bad.Seed)
+	}
+	if good.Failed || good.AggKbps != 100 {
+		t.Errorf("rep 1 = %+v, want the healthy run", good)
+	}
+	agg := res.Points[0]
+	if agg.FailedRuns != 1 || agg.AggKbps.N != 1 || agg.AggKbps.Mean != 100 {
+		t.Errorf("aggregate = %+v, want 1 failed run excluded from stats", agg)
+	}
+	for _, fs := range []FaultStats{eng.FaultStats(), shared.Snapshot()} {
+		if fs.RunsPanicked != 1 || fs.RunsFailed != 1 {
+			t.Errorf("fault stats = %+v, want 1 panic / 1 failed", fs)
+		}
+	}
+}
+
+// TestRunTimeout pins the wall-clock cap: a hanging replication is
+// abandoned at RunTimeout and recorded as a timeout failure instead of
+// wedging the campaign.
+func TestRunTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	stubRuns(t, func(spec Spec, p Point, rep int, durSec float64) RunResult {
+		if rep == 0 {
+			<-release // hang until the test tears down
+		}
+		return RunResult{Point: p.Index, Label: p.Label, Rep: rep,
+			Seed: DeriveSeed(spec.BaseSeed, p.Label, rep), AggKbps: 100, RecoverySec: -1}
+	})
+	eng := Engine{Parallel: 1, RunTimeout: 50 * time.Millisecond}
+	res, err := eng.Run(isolateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Runs[0]
+	if !bad.Failed || !strings.Contains(bad.Error, "wall-clock timeout") {
+		t.Errorf("rep 0 = %+v, want a timeout failure", bad)
+	}
+	if res.Runs[1].Failed {
+		t.Errorf("rep 1 failed: %+v", res.Runs[1])
+	}
+	if fs := eng.FaultStats(); fs.RunsTimeout != 1 || fs.RunsFailed != 1 {
+		t.Errorf("fault stats = %+v, want 1 timeout / 1 failed", fs)
+	}
+}
+
+// TestFailedRunsNeverCached pins the cache-poisoning guard: a failed
+// replication must not enter the fabric store, so a fixed binary (or a
+// roomier timeout) re-executes it instead of replaying the failure
+// forever.
+func TestFailedRunsNeverCached(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	store, err := fabric.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubRuns(t, func(spec Spec, p Point, rep int, durSec float64) RunResult {
+		if rep == 0 {
+			panic("injected: transient")
+		}
+		return RunResult{Point: p.Index, Label: p.Label, Rep: rep,
+			Seed: DeriveSeed(spec.BaseSeed, p.Label, rep), AggKbps: 100, RecoverySec: -1}
+	})
+	eng := Engine{Parallel: 1, Cache: store}
+	if _, err := eng.Run(isolateSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if n := store.Len(); n != 1 {
+		t.Fatalf("store holds %d entries after 1 failed + 1 healthy run, want 1", n)
+	}
+
+	// With the "bug" fixed, the failed slot re-executes (a miss, then a
+	// put); the healthy slot replays (a hit).
+	stubRuns(t, func(spec Spec, p Point, rep int, durSec float64) RunResult {
+		return RunResult{Point: p.Index, Label: p.Label, Rep: rep,
+			Seed: DeriveSeed(spec.BaseSeed, p.Label, rep), AggKbps: 100, RecoverySec: -1}
+	})
+	eng2 := Engine{Parallel: 1, Cache: store}
+	res, err := eng2.Run(isolateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng2.CacheStats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("retry cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+	if res.Runs[0].Failed {
+		t.Error("retry still failed: the failure was served from cache")
+	}
+}

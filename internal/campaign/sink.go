@@ -56,6 +56,10 @@ func (s ReportSink) Emit(r *Result) error {
 				a.RecoverySec.N, a.TailQueuePkts.N,
 				a.TailQueuePkts.Mean, a.TailQueuePkts.CI95)
 		}
+		if a.FailedRuns > 0 {
+			fmt.Fprintf(s.W, "  FAILED %d/%d runs (excluded from aggregates)\n",
+				a.FailedRuns, reps)
+		}
 	}
 	return nil
 }
@@ -86,7 +90,7 @@ func (s CSVSink) Emit(r *Result) error {
 	if err := w.Write([]string{
 		"point", "label", "rep", "seed",
 		"agg_kbps", "fairness", "mean_delay_sec", "max_queue_pkts",
-		"recovery_sec", "tail_queue_pkts", "flow_kbps",
+		"recovery_sec", "tail_queue_pkts", "flow_kbps", "failed_runs",
 	}); err != nil {
 		return err
 	}
@@ -104,12 +108,16 @@ func (s CSVSink) Emit(r *Result) error {
 			}
 			flowCol += fmt.Sprintf("%d=%s", f, g(run.FlowKbps[ezflow.FlowID(f)]))
 		}
+		failed := "0"
+		if run.Failed {
+			failed = "1"
+		}
 		if err := w.Write([]string{
 			strconv.Itoa(run.Point), run.Label, strconv.Itoa(run.Rep),
 			strconv.FormatInt(run.Seed, 10),
 			g(run.AggKbps), g(run.Fairness), g(run.MeanDelaySec), g(run.MaxQueuePkts),
 			g(run.RecoverySec), g(run.TailQueuePkts),
-			flowCol,
+			flowCol, failed,
 		}); err != nil {
 			return err
 		}

@@ -81,7 +81,7 @@ func TestJSONSinkRoundTrip(t *testing.T) {
 var csvHeader = []string{
 	"point", "label", "rep", "seed",
 	"agg_kbps", "fairness", "mean_delay_sec", "max_queue_pkts",
-	"recovery_sec", "tail_queue_pkts", "flow_kbps",
+	"recovery_sec", "tail_queue_pkts", "flow_kbps", "failed_runs",
 }
 
 func TestCSVSinkRoundTrip(t *testing.T) {

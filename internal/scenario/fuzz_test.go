@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse hammers the scenario JSON loader with arbitrary bytes: it
+// must reject garbage with an error, never panic, and anything it
+// accepts must be stable under a second Validate. The corpus seeds from
+// the repository's example scenarios plus the minimal valid documents,
+// so mutation starts from realistic structure.
+func FuzzParse(f *testing.F) {
+	for _, p := range []string{
+		filepath.Join("..", "..", "examples", "linkfailure", "linkfailure.json"),
+		filepath.Join("..", "..", "examples", "routing", "randomdisk.json"),
+	} {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"topology":{"kind":"chain","n":4}}`))
+	f.Add([]byte(`{"topology":{"kind":"grid"},"mode":"ezflow","duration_sec":10}`))
+	f.Add([]byte(`{"topology":{"kind":"random","n":9},"flows":[{"src":0,"dst":5}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("Parse returned nil spec with nil error")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+	})
+}
