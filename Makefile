@@ -21,14 +21,15 @@ test:
 	$(GO) test ./...
 
 # fuzz is a short smoke over the hostile-input decoders: the scenario
-# JSON loader and the shard worker frame protocol (plus the chaos-spec
-# grammar). Ten seconds each is enough to catch decode panics in CI;
-# crank FUZZTIME for a real soak.
+# JSON loader, the shard worker frame protocol (plus the chaos-spec
+# grammar), and the mobility trace-file parser. Ten seconds each is
+# enough to catch decode panics in CI; crank FUZZTIME for a real soak.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -run='^$$' -fuzz='^FuzzWorkerFrames$$' -fuzztime=$(FUZZTIME) ./internal/campaign
 	$(GO) test -run='^$$' -fuzz='^FuzzParseChaos$$' -fuzztime=$(FUZZTIME) ./internal/campaign
+	$(GO) test -run='^$$' -fuzz='^FuzzParseMobilityTrace$$' -fuzztime=$(FUZZTIME) ./internal/mobility
 
 # lint enforces the godoc conventions (package docs everywhere, exported
 # symbol docs in the public ezflow package and all internal packages).
@@ -51,21 +52,23 @@ staticcheck:
 # instruments (counter/vec/histogram/flight-record increments plus the
 # disabled nil-receiver hooks, all pinned at zero allocs), the
 # routing strategies (pure route-computation cost per registry entry
-# plus the lossy-disk rerun per strategy), and the fabric cache
+# plus the lossy-disk rerun per strategy), the fabric cache
 # (key derivation and a store Put+Get round trip — the fixed overhead
-# a cache hit pays to skip a simulation) — gates them against the
-# committed baseline (BENCH_PR7.json; >25% allocs/op regression fails,
-# zero-alloc pins fail on any alloc, ns/op gets a wider 2x band
+# a cache hit pays to skip a simulation), and the mobility path (a
+# single incremental phy.MoveNode re-index, pinned at zero steady-state
+# allocs, plus a full 200-node waypoint disk run) — gates them against
+# the committed baseline (BENCH_PR8.json; >25% allocs/op regression
+# fails, zero-alloc pins fail on any alloc, ns/op gets a wider 2x band
 # because the archived baseline was recorded on a different host),
-# archives the fresh run as BENCH_PR8.json (uploaded as a CI artifact,
+# archives the fresh run as BENCH_PR10.json (uploaded as a CI artifact,
 # committed when the recorded trajectory changes), and prints the
 # speedup table.
 bench:
-	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput|^BenchmarkGrid100Run$$|^BenchmarkRandomDisk200Run$$|^BenchmarkDiskScaling$$|^BenchmarkRouting|^BenchmarkDiskScalingRouting$$' \
+	$(GO) test -bench='^BenchmarkChainRun|^BenchmarkEngineThroughput|^BenchmarkGrid100Run$$|^BenchmarkRandomDisk200Run$$|^BenchmarkDiskScaling$$|^BenchmarkRouting|^BenchmarkDiskScalingRouting$$|^BenchmarkWaypointDisk200$$' \
 	    -benchmem -run='^$$' -benchtime=20x . | tee /tmp/bench.out
 	$(GO) test -bench='^BenchmarkEngine' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/sim | tee -a /tmp/bench.out
-	$(GO) test -bench='^BenchmarkChannelTransmit' -benchmem -run='^$$' -benchtime=1s \
+	$(GO) test -bench='^BenchmarkChannelTransmit|^BenchmarkMoveNode$$' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/phy | tee -a /tmp/bench.out
 	$(GO) test -bench='^BenchmarkCtl' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/ctl | tee -a /tmp/bench.out
@@ -73,10 +76,10 @@ bench:
 	    ./internal/obs | tee -a /tmp/bench.out
 	$(GO) test -bench='^BenchmarkCacheKey$$|^BenchmarkStoreRoundTrip$$' -benchmem -run='^$$' -benchtime=1s \
 	    ./internal/fabric | tee -a /tmp/bench.out
-	$(GO) run ./tools/benchjson -baseline BENCH_PR7.json -tolerance 0.25 -ns-tolerance 1.0 \
-	    < /tmp/bench.out > BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
-	$(GO) run ./tools/benchjson -compare BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./tools/benchjson -baseline BENCH_PR8.json -tolerance 0.25 -ns-tolerance 1.0 \
+	    < /tmp/bench.out > BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
+	$(GO) run ./tools/benchjson -compare BENCH_PR8.json BENCH_PR10.json
 
 # bench-all additionally regenerates every figure/table benchmark of the
 # paper (slow).

@@ -4,9 +4,10 @@
 // Table 3), and the §6 Theorem 1 random-walk analysis — plus the
 // extension experiments (hopsweep, tree, rtscts, bidir, the
 // fault-injection stability experiment, the large-topology scale sweep,
-// the congestion-controller head-to-head `-exp controllers`, and the
-// routing-strategy cross product on lossy disks `-exp routing`; see
-// docs/PAPER_MAP.md).
+// the congestion-controller head-to-head `-exp controllers`, the
+// routing-strategy cross product on lossy disks `-exp routing`, and the
+// mobility head-to-head on moving meshes with client workloads
+// `-exp mobility`; see docs/PAPER_MAP.md).
 //
 // Usage:
 //
@@ -64,6 +65,7 @@ var experiments = []struct {
 	{"scale", func(o exp.Options) *exp.Report { return &exp.Scale(o).Report }},
 	{"controllers", func(o exp.Options) *exp.Report { return &exp.Controllers(o).Report }},
 	{"routing", func(o exp.Options) *exp.Report { return &exp.Routing(o).Report }},
+	{"mobility", func(o exp.Options) *exp.Report { return &exp.Mobility(o).Report }},
 }
 
 // aliases lets users name experiments by the figure/table they regenerate.

@@ -24,6 +24,22 @@
 // (explicit rate-feedback control frames), and staticcap (fixed per-hop
 // window).
 //
+// -mobility selects a mobility model from the internal/mobility
+// registry: waypoint (random-waypoint commuters over the deployment's
+// bounding box) or trace (scripted positions from a file — scenario
+// files only, via the mobility block's trace_file). `-mobility off`
+// pins a scenario file's mobile nodes in place for a static control
+// run. -speed and -pause tune the model; -clients synthesizes a
+// gateway-centred downlink client population (or resizes a scenario
+// file's workload block). Node 0 (the gateway) never moves. Mobile runs
+// re-patch the PHY neighbor index incrementally on every position tick
+// and repair routes through the active routing strategy:
+//
+//	ezsim -topology grid -grid-w 4 -grid-h 4 -mobility waypoint -speed 3
+//	ezsim -scenario examples/mobility/waypoint.json
+//	ezsim -scenario examples/mobility/waypoint.json -mobility off
+//	ezsim -topology grid -mobility waypoint -clients 8
+//
 // -routing selects a routing strategy from the internal/routing registry:
 // bfs (minimum hop count, the default — byte-identical to the builder's
 // installed routes), etx (expected-transmission-count link quality over
@@ -57,6 +73,7 @@ import (
 	"ezflow"
 	"ezflow/internal/buildinfo"
 	"ezflow/internal/ctl"
+	"ezflow/internal/mobility"
 	"ezflow/internal/plot"
 	"ezflow/internal/routing"
 	"ezflow/internal/scenario"
@@ -77,6 +94,10 @@ func main() {
 		mode     = flag.String("mode", "ezflow", "802.11|ezflow|penalty|diffq")
 		ctlName  = flag.String("controller", "", "congestion controller from the registry, overriding -mode: "+strings.Join(ezflow.Controllers(), "|")+" (or 802.11 for none); registered controllers:\n"+ezflow.ControllerUsage())
 		routName = flag.String("routing", "", "routing strategy from the registry: "+strings.Join(ezflow.Routings(), "|")+" (empty = bfs, the builder's minimum-hop routes); registered strategies:\n"+ezflow.RoutingUsage())
+		mobName  = flag.String("mobility", "", "mobility model from the registry: "+strings.Join(ezflow.Mobilities(), "|")+" (or off to pin a scenario file's mobile nodes); registered models:\n"+ezflow.MobilityUsage())
+		speed    = flag.Float64("speed", 0, "mobile node speed in m/s (needs -mobility or a scenario mobility block)")
+		pause    = flag.Float64("pause", 0, "waypoint dwell seconds at each destination (needs -mobility or a scenario mobility block)")
+		clients  = flag.Int("clients", 0, "gateway client population size (synthesizes a downlink workload, or resizes a scenario file's)")
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		rate     = flag.Float64("rate", 2e6, "per-flow CBR rate in bit/s")
@@ -100,11 +121,18 @@ func main() {
 	if err := validateRouting(*routName); err != nil {
 		fatalf("%v", err)
 	}
+	if err := validateMobility(*mobName); err != nil {
+		fatalf("%v", err)
+	}
 
 	if *scenFile != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runScenarioFile(*scenFile, set, *mode, *ctlName, *routName, *seed, *duration, *cap, *traceDir, *doPlot, &o)
+		runScenarioFile(*scenFile, set, overrides{
+			mode: *mode, ctlName: *ctlName, routName: *routName,
+			mobName: *mobName, speed: *speed, pause: *pause, clients: *clients,
+			seed: *seed, durationSec: *duration, cwCap: *cap,
+		}, *traceDir, *doPlot, &o)
 		return
 	}
 
@@ -133,6 +161,17 @@ func main() {
 		}
 	}
 	cfg.Routing = *routName
+	if *mobName != "" && !mobility.IsOff(*mobName) {
+		cfg.Mobility = &mobility.Config{
+			Model: *mobName,
+			Opts:  mobility.Options{SpeedMps: *speed, PauseSec: *pause},
+		}
+	} else if *speed > 0 || *pause > 0 {
+		fatalf("-speed/-pause need -mobility (or a -scenario file with a mobility block)")
+	}
+	if *clients > 0 {
+		cfg.Workload = &ezflow.WorkloadSpec{Clients: *clients}
+	}
 
 	var sc *ezflow.Scenario
 	switch *topology {
@@ -217,38 +256,96 @@ func validateRouting(name string) error {
 	return fmt.Errorf("unknown routing strategy %q (registered: %s)", name, strings.Join(ezflow.Routings(), ", "))
 }
 
+// validateMobility rejects mobility-model names absent from the registry
+// (the off/static spellings, mobility.IsOff, select no mobility).
+func validateMobility(name string) error {
+	if mobility.IsOff(name) {
+		return nil
+	}
+	if _, ok := mobility.ByName(name); ok {
+		return nil
+	}
+	return fmt.Errorf("unknown mobility model %q (registered: %s, or off for static)", name, strings.Join(ezflow.Mobilities(), ", "))
+}
+
+// overrides carries the flag values that may override a scenario file;
+// each applies only when its flag was passed explicitly.
+type overrides struct {
+	mode, ctlName, routName string
+	mobName                 string
+	speed, pause            float64
+	clients                 int
+	seed                    int64
+	durationSec             float64
+	cwCap                   int
+}
+
 // runScenarioFile executes a declarative scenario file, letting -mode,
-// -controller, -routing, -seed, -duration and -cap override the file when
-// passed explicitly (set holds the names of flags present on the command
-// line).
-func runScenarioFile(path string, set map[string]bool, mode, ctlName, routName string, seed int64,
-	durationSec float64, cwCap int, traceDir string, doPlot bool, o *obsOpts) {
+// -controller, -routing, -mobility, -speed, -pause, -clients, -seed,
+// -duration and -cap override the file when passed explicitly (set holds
+// the names of flags present on the command line).
+func runScenarioFile(path string, set map[string]bool, ov overrides,
+	traceDir string, doPlot bool, o *obsOpts) {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if set["mode"] {
-		spec.Mode = mode
+		spec.Mode = ov.mode
 		spec.Controller = ""
 	}
 	if set["controller"] {
 		spec.Mode = ""
-		spec.Controller = ctlName
-		if ctl.IsNone(ctlName) {
+		spec.Controller = ov.ctlName
+		if ctl.IsNone(ov.ctlName) {
 			spec.Controller = "" // plain 802.11: no controller at all
 		}
 	}
 	if set["routing"] {
-		spec.Routing = routName
+		spec.Routing = ov.routName
+	}
+	if set["mobility"] {
+		switch {
+		case mobility.IsOff(ov.mobName):
+			// Static control run: drop the file's block entirely.
+			spec.Mobility = nil
+		case spec.Mobility != nil:
+			// A swept model inherits the file's tuned speed/pause/tick,
+			// mirroring the campaign mobility axis. A trace file bound to
+			// the old model would fail validation under the new one.
+			spec.Mobility.Model = ov.mobName
+			if ov.mobName != "trace" {
+				spec.Mobility.TraceFile = ""
+			}
+		default:
+			spec.Mobility = &scenario.Mobility{Model: ov.mobName}
+		}
+	}
+	if set["speed"] || set["pause"] {
+		if spec.Mobility == nil {
+			fatalf("-speed/-pause need a mobility model (-mobility, or a mobility block in %s)", path)
+		}
+		if set["speed"] {
+			spec.Mobility.SpeedMps = ov.speed
+		}
+		if set["pause"] {
+			spec.Mobility.PauseSec = ov.pause
+		}
+	}
+	if set["clients"] {
+		if spec.Workload == nil {
+			spec.Workload = &scenario.Workload{}
+		}
+		spec.Workload.Clients = ov.clients
 	}
 	if set["seed"] {
-		spec.Seed = seed
+		spec.Seed = ov.seed
 	}
 	if set["duration"] {
-		spec.DurationSec = durationSec
+		spec.DurationSec = ov.durationSec
 	}
 	if set["cap"] {
-		spec.CWCap = cwCap
+		spec.CWCap = ov.cwCap
 	}
 	if err := spec.Validate(); err != nil {
 		fatalf("%v", err)
@@ -325,6 +422,10 @@ func printSummary(res *ezflow.Result) {
 	}
 	if res.OverheadBytes > 0 {
 		fmt.Printf("message-passing overhead: %d bytes\n", res.OverheadBytes)
+	}
+	if st := res.MobilityStats; st != nil {
+		fmt.Printf("mobility: %d ticks, %d moves (%d deferred), %d route repairs\n",
+			st.Ticks, st.Moves, st.Deferred, st.Repairs)
 	}
 	if len(res.DynamicsLog) > 0 {
 		fmt.Println("dynamics:")

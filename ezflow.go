@@ -42,6 +42,7 @@ import (
 	ez "ezflow/internal/ezflow"
 	"ezflow/internal/mac"
 	"ezflow/internal/mesh"
+	"ezflow/internal/mobility"
 	"ezflow/internal/obs"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
@@ -140,6 +141,17 @@ func Routings() []string { return routing.Names() }
 // strategy for CLI help text.
 func RoutingUsage() string { return routing.Usage() }
 
+// Mobilities returns the names of every registered mobility model,
+// sorted — the values Config.Mobility selects by name, scenario files,
+// the campaign "mobility" axis and the ezsim -mobility flag accept (see
+// internal/mobility). The off spellings ("", "off", "static") are
+// accepted everywhere in addition to these.
+func Mobilities() []string { return mobility.Names() }
+
+// MobilityUsage renders one "name — summary" line per mobility model
+// (including the off default) for CLI help text.
+func MobilityUsage() string { return mobility.Usage() }
+
 // Config parameterises a scenario run.
 type Config struct {
 	Seed     int64
@@ -192,6 +204,23 @@ type Config struct {
 	// throughput must return to its pre-fault mean to count as recovered
 	// (default 0.2, i.e. back to 80%).
 	RecoveryTolerance float64
+
+	// Mobility, when non-nil and naming a model, attaches the
+	// position-update engine of internal/mobility: stations move on the
+	// simulation clock, the PHY neighbor index is re-patched
+	// incrementally (phy.MoveNode), and route maintenance is delegated
+	// to the active routing strategy whenever decode-range link
+	// membership changes — through dynamics repair when a script is
+	// attached, the same reroute-all path otherwise. Zero-value fields
+	// inherit the run: Seed from Config.Seed, UntilSec from Duration,
+	// and a nil Fixed list pins the gateway (node 0). A nil Mobility (or
+	// an off model name) attaches nothing and schedules nothing, so
+	// static runs are byte-identical to configurations without the field.
+	Mobility *mobility.Config
+	// Workload, when non-nil, expands a gateway-scale client flow
+	// population (see WorkloadSpec) at wiring, in addition to the
+	// explicitly passed flows.
+	Workload *WorkloadSpec
 
 	// Obs, when non-nil, enables the observability layer (metric
 	// registry, packet flight recorder; see internal/obs) at wiring.
@@ -259,6 +288,9 @@ type Scenario struct {
 	// Dyn is the perturbation engine, non-nil once a dynamics script is
 	// attached (Config.Dynamics or AddDynamics).
 	Dyn *dynamics.Engine
+	// Mob is the mobility engine, non-nil when Config.Mobility selects a
+	// model; its Stats land in the Result.
+	Mob *mobility.Engine
 	// Obs is the attached observability state, non-nil once enabled
 	// (Config.Obs or EnableObs); see internal/obs.
 	Obs *obs.Set
@@ -454,6 +486,19 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 		}
 	}
 
+	// Gateway-scale workload expansion: extra client flows routed through
+	// the strategy resolved above, with activity schedules drawn from a
+	// dedicated seed-derived RNG (see workload.go). Before metering so the
+	// population is metered like any explicit flow.
+	var wlSched map[FlowID][]traffic.Segment
+	if cfg.Workload != nil {
+		var err error
+		flows, wlSched, err = expandWorkload(&cfg, m, flows)
+		if err != nil {
+			panic(fmt.Sprintf("ezflow: %v", err))
+		}
+	}
+
 	sc := &Scenario{
 		Cfg:         cfg,
 		Eng:         eng,
@@ -486,12 +531,16 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 		} else {
 			src = traffic.NewCBR(m, fs.Flow, fs.RateBps, bytes)
 		}
-		src.StartAt(fs.Start)
-		stop := fs.Stop
-		if stop <= 0 {
-			stop = cfg.Duration
+		if segs, ok := wlSched[fs.Flow]; ok {
+			src.ApplySchedule(segs)
+		} else {
+			src.StartAt(fs.Start)
+			stop := fs.Stop
+			if stop <= 0 {
+				stop = cfg.Duration
+			}
+			src.StopAt(stop)
 		}
-		src.StopAt(stop)
 		sc.Sources[fs.Flow] = src
 	}
 
@@ -528,12 +577,63 @@ func wire(cfg Config, eng *sim.Engine, m *mesh.Mesh, flows []FlowSpec) *Scenario
 		}
 	}
 
+	// Mobility, attached after dynamics so the repair hook can see the
+	// perturbation engine. A nil config or off model attaches nothing —
+	// zero events, zero RNG reads — keeping static runs byte-identical.
+	if cfg.Mobility != nil && !mobility.IsOff(cfg.Mobility.Model) {
+		mcfg := *cfg.Mobility
+		if mcfg.Seed == 0 {
+			mcfg.Seed = cfg.Seed
+		}
+		if mcfg.UntilSec <= 0 {
+			mcfg.UntilSec = cfg.Duration.Seconds()
+		}
+		if mcfg.Fixed == nil {
+			// The gateway is mains-powered street furniture, not a
+			// commuter: pinned unless the caller says otherwise (an empty
+			// non-nil list pins nothing).
+			mcfg.Fixed = []NodeID{0}
+		}
+		mob, err := mobility.Attach(m, mcfg)
+		if err != nil {
+			panic(fmt.Sprintf("ezflow: %v", err))
+		}
+		mob.Repair = sc.repairRoutes
+		sc.Mob = mob
+	}
+
 	// Observability, when the config asks for it (never perturbs the run;
 	// see EnableObs).
 	if cfg.Obs != nil {
 		sc.EnableObs(*cfg.Obs)
 	}
 	return sc
+}
+
+// repairRoutes is the mobility engine's route-maintenance hook: the
+// same delegation to the active routing strategy that dynamics repair
+// performs. With a perturbation engine attached it IS dynamics repair
+// (RerouteAll honours scripted link/node failures and re-extends the
+// controller through OnReroute); without one it reroutes every flow
+// over current transmission-range connectivity and re-extends the
+// controller itself, so queues created by a route change come under
+// control exactly as after a scripted fault.
+func (sc *Scenario) repairRoutes() {
+	if sc.Dyn != nil {
+		sc.Dyn.RerouteAll()
+		return
+	}
+	m := sc.Mesh
+	usable := func(a, b NodeID) bool {
+		return !m.Node(a).MAC.Down() && !m.Node(b).MAC.Down() &&
+			!m.Ch.LinkDown(a, b) && m.Ch.InTxRange(a, b)
+	}
+	for _, f := range m.Flows() {
+		m.RerouteFlow(f, usable)
+	}
+	if sc.Ctl != nil {
+		sc.Ctl.Extend(m)
+	}
 }
 
 // AddDynamics attaches a perturbation script to a wired scenario, or
@@ -602,6 +702,9 @@ type Result struct {
 	// DynamicsLog lists every applied perturbation in execution order
 	// (empty without a dynamics script).
 	DynamicsLog []dynamics.Applied
+	// MobilityStats counts what the mobility engine did (ticks, moves,
+	// deferrals, repairs); non-nil only when a mobility model ran.
+	MobilityStats *mobility.Stats
 	// Obs is the final metrics snapshot, non-nil only when the scenario
 	// ran with metrics enabled (Config.Obs or EnableObs).
 	Obs *obs.Snapshot
@@ -672,6 +775,10 @@ func (sc *Scenario) Run() *Result {
 	if sc.Dyn != nil {
 		res.DynamicsLog = sc.Dyn.Log
 		res.Stability = computeStability(sc, res)
+	}
+	if sc.Mob != nil {
+		st := sc.Mob.Stats
+		res.MobilityStats = &st
 	}
 	if sc.Obs != nil && sc.Obs.Reg != nil {
 		res.Obs = sc.Obs.Reg.Snapshot(now)

@@ -37,6 +37,7 @@ import (
 	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
 	"ezflow/internal/fabric"
+	"ezflow/internal/mobility"
 	"ezflow/internal/obs"
 	"ezflow/internal/routing"
 	"ezflow/internal/scenario"
@@ -95,11 +96,17 @@ func (s Spec) sweeps(name string) bool {
 // registered routing strategy — see routing.Names()), "hops" (chain
 // length; also the side of a grid topology, clamped to >= 2), "rate"
 // (bit/s), "cap" (hardware CWmin cap, 0 = none), "nodes" (node count of
-// the random topology, whose placement is seeded per replication), and the
+// the random topology, whose placement is seeded per replication), the
 // fault-injection axes "flap" and "churn" (0|1): flap=1 severs the first
 // flow's middle link for a tenth of the run starting at 40%, churn=1
 // halts its middle relay over the same window, both with BFS route
-// repair.
+// repair — and the mobility/workload axes: "mobility" (off or any
+// registered model — see mobility.Names()), "speed" and "pause"
+// (waypoint m/s and dwell seconds; they override the mobility axis or
+// the scenario file's mobility block, one of which must be present),
+// and "clients" (gateway-workload population size, overriding the
+// scenario file's workload block or synthesizing an always-on downlink
+// population when the campaign has none).
 type Axis struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values"`
@@ -114,9 +121,10 @@ func ParseSweep(s string) (Axis, error) {
 	}
 	name = strings.ToLower(strings.TrimSpace(name))
 	switch name {
-	case "topology", "mode", "controller", "routing", "hops", "rate", "cap", "nodes", "flap", "churn":
+	case "topology", "mode", "controller", "routing", "hops", "rate", "cap", "nodes", "flap", "churn",
+		"mobility", "speed", "pause", "clients":
 	default:
-		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|controller|routing|hops|rate|cap|nodes|flap|churn)", name)
+		return Axis{}, fmt.Errorf("campaign: unknown sweep axis %q (want topology|mode|controller|routing|hops|rate|cap|nodes|flap|churn|mobility|speed|pause|clients)", name)
 	}
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
@@ -168,6 +176,18 @@ type Point struct {
 	// Flap and Churn are the fault-injection axes.
 	Flap  bool `json:"flap,omitempty"`
 	Churn bool `json:"churn,omitempty"`
+	// Mobility is the mobility model at this point: empty means the
+	// point adds none (a scenario file's block still applies), "off"
+	// pins the topology static even over such a block. All four
+	// mobility/workload fields are omitempty on purpose: points that
+	// predate them keep their serialized form, so historical cache keys
+	// and campaign goldens are unchanged.
+	Mobility string `json:"mobility,omitempty"`
+	// SpeedMps and PauseSec override the waypoint parameters when > 0.
+	SpeedMps float64 `json:"speed_mps,omitempty"`
+	PauseSec float64 `json:"pause_sec,omitempty"`
+	// Clients overrides (or synthesizes) the workload population size.
+	Clients int `json:"clients,omitempty"`
 	// Scenario is the scenario file's name when the campaign runs from
 	// one (Spec.Scenario), replacing the topology fields above.
 	Scenario string `json:"scenario,omitempty"`
@@ -228,6 +248,34 @@ func (p *Point) set(axis, value string) error {
 			return fmt.Errorf("campaign: bad node count %q", value)
 		}
 		p.Nodes = n
+	case "mobility":
+		v := strings.ToLower(value)
+		if mobility.IsOff(v) {
+			p.Mobility = "off"
+		} else {
+			if _, ok := mobility.ByName(v); !ok {
+				return fmt.Errorf("campaign: unknown mobility model %q (registered: %s, or off for static)", value, mobility.NamesList())
+			}
+			p.Mobility = v
+		}
+	case "speed":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("campaign: bad speed %q (want m/s > 0)", value)
+		}
+		p.SpeedMps = v
+	case "pause":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("campaign: bad pause %q (want seconds > 0)", value)
+		}
+		p.PauseSec = v
+	case "clients":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("campaign: bad client count %q", value)
+		}
+		p.Clients = n
 	case "flap":
 		b, err := parseBool01(value)
 		if err != nil {
@@ -298,6 +346,21 @@ func (p Point) makeLabel() string {
 		// labels, so historical campaign seeds are unchanged.
 		b += fmt.Sprintf(" routing=%s", p.Routing)
 	}
+	// Like routing above, the mobility/workload fragments append only
+	// when a point sets them, so pre-mobility labels (and with them
+	// DeriveSeed streams and cache keys) are untouched.
+	if p.Mobility != "" {
+		b += fmt.Sprintf(" mobility=%s", p.Mobility)
+	}
+	if p.SpeedMps > 0 {
+		b += fmt.Sprintf(" speed=%g", p.SpeedMps)
+	}
+	if p.PauseSec > 0 {
+		b += fmt.Sprintf(" pause=%g", p.PauseSec)
+	}
+	if p.Clients > 0 {
+		b += fmt.Sprintf(" clients=%d", p.Clients)
+	}
 	if p.CWCap > 0 {
 		b += fmt.Sprintf(" cap=%d", p.CWCap)
 	}
@@ -321,6 +384,12 @@ func (s Spec) Enumerate() ([]Point, error) {
 	}
 	if s.sweeps("mode") && s.sweeps("controller") {
 		return nil, fmt.Errorf("campaign: the mode and controller axes are mutually exclusive (controller subsumes mode)")
+	}
+	if s.sweeps("speed") || s.sweeps("pause") {
+		fileMobile := s.Scenario != nil && s.Scenario.Mobility != nil && !mobility.IsOff(s.Scenario.Mobility.Model)
+		if !s.sweeps("mobility") && !fileMobile {
+			return nil, fmt.Errorf("campaign: the speed/pause axes need a mobility model (sweep mobility, or attach a scenario file with a mobility block)")
+		}
 	}
 	if s.Scenario != nil {
 		if err := s.Scenario.Validate(); err != nil {
@@ -700,6 +769,7 @@ func runOne(spec Spec, p Point, rep int, durSec float64) RunResult {
 	if p.Routing != "" {
 		cfg.Routing = p.Routing
 	}
+	applyMobilityWorkload(spec, p, &cfg)
 
 	sc := buildScenario(spec, p, cfg)
 	applyAxisFaults(sc, p)
@@ -804,6 +874,62 @@ func buildScenario(spec Spec, p Point, cfg ezflow.Config) *ezflow.Scenario {
 			ezflow.FlowSpec{Flow: 1, RateBps: rate})
 	default:
 		return ezflow.NewChain(p.Hops, cfg, ezflow.FlowSpec{Flow: 1, RateBps: rate})
+	}
+}
+
+// applyMobilityWorkload resolves the mobility/workload axes into the
+// run config. A point's model wins over the scenario file's mobility
+// block ("off" suppresses it outright); speed/pause overrides apply to
+// whichever base is active; a clients override rewrites the file's
+// workload population, or synthesizes an always-on downlink one for
+// campaigns without a file. Points setting none of the fields leave the
+// config untouched — the file's blocks flow through BuildWith exactly
+// as before the axes existed.
+func applyMobilityWorkload(spec Spec, p Point, cfg *ezflow.Config) {
+	// fileBase resolves the scenario file's mobility block once: a swept
+	// model inherits the file's tuned options (speed, pause, tick, pins)
+	// rather than resetting them to model defaults. Enumerate vetted the
+	// block, so an error here cannot happen outside a hand-built Spec;
+	// the run isolation layer turns the panic into a failed run.
+	fileBase := func() *mobility.Config {
+		if spec.Scenario == nil {
+			return nil
+		}
+		mc, err := spec.Scenario.MobilityConfig()
+		if err != nil {
+			panic(err)
+		}
+		return mc
+	}
+	var base *mobility.Config
+	switch {
+	case p.Mobility == "off":
+		cfg.Mobility = &mobility.Config{Model: "off"}
+	case p.Mobility != "":
+		base = fileBase()
+		if base == nil {
+			base = &mobility.Config{}
+		}
+		base.Model = p.Mobility
+	case p.SpeedMps > 0 || p.PauseSec > 0:
+		base = fileBase()
+	}
+	if base != nil {
+		if p.SpeedMps > 0 {
+			base.Opts.SpeedMps = p.SpeedMps
+		}
+		if p.PauseSec > 0 {
+			base.Opts.PauseSec = p.PauseSec
+		}
+		cfg.Mobility = base
+	}
+	if p.Clients > 0 {
+		w := &ezflow.WorkloadSpec{Clients: p.Clients}
+		if spec.Scenario != nil && spec.Scenario.Workload != nil {
+			w = spec.Scenario.WorkloadSpec()
+			w.Clients = p.Clients
+		}
+		cfg.Workload = w
 	}
 }
 

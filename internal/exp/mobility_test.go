@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	root "ezflow"
+)
+
+// TestMobilityShape runs the mobility cross product at the minimum
+// duration and checks every cell is populated, the static column never
+// moves a node, and the waypoint column both moves and repairs.
+func TestMobilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	r := Mobility(Options{Seed: 1, Scale: 0.05, Parallel: 8})
+	for _, model := range MobilityModels {
+		for _, w := range MobilityWorkloads {
+			for _, mode := range []root.Mode{root.Mode80211, root.ModeEZFlow} {
+				run := r.Get(mode, model, w)
+				if run == nil {
+					t.Fatalf("missing cell %v/%s/%s", mode, model, w)
+				}
+				if run.AggKbps <= 0 {
+					t.Errorf("%v/%s/%s: no throughput", mode, model, w)
+				}
+				if model == "off" && (run.Moves != 0 || run.Repairs != 0) {
+					t.Errorf("%v/%s/%s: static cell moved (%d moves, %d repairs)",
+						mode, model, w, run.Moves, run.Repairs)
+				}
+				if model == "waypoint" && run.Moves == 0 {
+					t.Errorf("%v/%s/%s: mobile cell never moved", mode, model, w)
+				}
+			}
+		}
+	}
+	if !strings.Contains(r.Report.String(), "waypoint") {
+		t.Error("report misses the waypoint block")
+	}
+}
+
+// TestMobilityDeterministicAcrossWorkers pins the experiment's report to
+// be identical for any parallelism (the repository-wide campaign rule).
+func TestMobilityDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	serial := Mobility(Options{Seed: 3, Scale: 0.05, Parallel: 1}).Report.String()
+	fanned := Mobility(Options{Seed: 3, Scale: 0.05, Parallel: 8}).Report.String()
+	if serial != fanned {
+		t.Error("mobility report differs between 1 and 8 workers")
+	}
+}

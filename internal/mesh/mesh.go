@@ -127,6 +127,19 @@ func (m *Mesh) AddNode(id pkt.NodeID, pos phy.Position) *Node {
 // Node returns the node with the given id, or nil.
 func (m *Mesh) Node(id pkt.NodeID) *Node { return m.nodes[id] }
 
+// MoveNode relocates a node, incrementally patching the PHY neighbor
+// index (phy.MoveNode). It reports whether decode-range link membership
+// changed — the mobility engine's cue to run route repair. The node must
+// not be mid-transmission; callers gate on Ch.Transmitting.
+func (m *Mesh) MoveNode(id pkt.NodeID, pos phy.Position) bool {
+	n := m.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("mesh: MoveNode for unknown node %v", id))
+	}
+	n.Pos = pos
+	return m.Ch.MoveNode(id, pos)
+}
+
 // Pool returns the packet/frame pool shared by the mesh's whole stack.
 // Traffic generators draw packets from it and Release their reference
 // after Inject; the pool recycles each packet once every queue on the

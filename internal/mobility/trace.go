@@ -1,0 +1,193 @@
+// The trace-driven model: nodes replay a JSON waypoint list with
+// piecewise-linear interpolation — the regime for reproducing a measured
+// deployment (or a regression scenario) move-for-move. Nodes absent from
+// the trace stay where the topology builder put them.
+package mobility
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+func init() {
+	Register(Info{
+		Name:    "trace",
+		Summary: "deterministic trace replay: piecewise-linear JSON waypoint lists per node",
+		New: func(opts Options) (Model, error) {
+			if opts.Trace == nil {
+				return nil, fmt.Errorf("mobility: trace model needs a trace (scenario trace_file/trace block)")
+			}
+			if err := opts.Trace.Validate(); err != nil {
+				return nil, err
+			}
+			return &traceModel{trace: opts.Trace}, nil
+		},
+	})
+}
+
+// Trace is a replayable movement script: per-node timestamped waypoint
+// lists.
+type Trace struct {
+	// Nodes holds one waypoint list per moving node; nodes not listed
+	// never move.
+	Nodes []TraceNode `json:"nodes"`
+}
+
+// TraceNode is one node's timestamped path.
+type TraceNode struct {
+	// ID is the node the waypoints apply to.
+	ID pkt.NodeID `json:"id"`
+	// Waypoints is the path, strictly ascending in time. Before the
+	// first waypoint the node sits at it; after the last it stays there.
+	Waypoints []TracePoint `json:"waypoints"`
+}
+
+// TracePoint pins a position at a time.
+type TracePoint struct {
+	// AtSec is the waypoint time in seconds from run start.
+	AtSec float64 `json:"at_sec"`
+	// X is the x-coordinate in metres.
+	X float64 `json:"x"`
+	// Y is the y-coordinate in metres.
+	Y float64 `json:"y"`
+}
+
+// ParseTrace decodes a movement trace, rejecting unknown fields (the
+// same strictness as scenario files: a typo fails loudly instead of
+// silently not moving anything) and validating it.
+func ParseTrace(data []byte) (*Trace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var tr Trace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("mobility: parse trace: %w", err)
+	}
+	// Trailing garbage after the JSON document is a malformed file.
+	if dec.More() {
+		return nil, fmt.Errorf("mobility: parse trace: trailing data after document")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// LoadTrace reads and parses a trace file.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: %w", err)
+	}
+	tr, err := ParseTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Validate checks structural soundness: unique non-negative node ids,
+// at least one waypoint per listed node, strictly ascending finite
+// times, finite coordinates.
+func (tr *Trace) Validate() error {
+	seen := map[pkt.NodeID]bool{}
+	for _, n := range tr.Nodes {
+		if n.ID < 0 {
+			return fmt.Errorf("mobility: trace node id %d is negative", n.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("mobility: trace lists node %d twice", n.ID)
+		}
+		seen[n.ID] = true
+		if len(n.Waypoints) == 0 {
+			return fmt.Errorf("mobility: trace node %d has no waypoints", n.ID)
+		}
+		last := math.Inf(-1)
+		for i, w := range n.Waypoints {
+			if math.IsNaN(w.AtSec) || math.IsInf(w.AtSec, 0) || w.AtSec < 0 {
+				return fmt.Errorf("mobility: trace node %d waypoint %d: bad time %g", n.ID, i, w.AtSec)
+			}
+			if w.AtSec <= last && i > 0 {
+				return fmt.Errorf("mobility: trace node %d waypoint %d: times must be strictly ascending", n.ID, i)
+			}
+			last = w.AtSec
+			for _, v := range []float64{w.X, w.Y} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("mobility: trace node %d waypoint %d: non-finite coordinate", n.ID, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type traceModel struct {
+	trace *Trace
+	// paths[i] is node i's waypoint list (nil: not in the trace);
+	// hold[i] is its builder position for untraced nodes.
+	paths [][]TracePoint
+	hold  []phy.Position
+}
+
+func (m *traceModel) Name() string { return "trace" }
+
+// Init resolves trace entries against the deployment. A trace naming an
+// unknown node id is an error — a silent skip would make a typoed id
+// look like a static node.
+func (m *traceModel) Init(ids []pkt.NodeID, start []phy.Position, _ Bounds, _ int64) error {
+	at := map[pkt.NodeID]int{}
+	for i, id := range ids {
+		at[id] = i
+	}
+	m.paths = make([][]TracePoint, len(ids))
+	m.hold = append([]phy.Position(nil), start...)
+	for _, n := range m.trace.Nodes {
+		i, ok := at[n.ID]
+		if !ok {
+			return fmt.Errorf("mobility: trace names node %d, which is not in the topology", n.ID)
+		}
+		m.paths[i] = n.Waypoints
+	}
+	return nil
+}
+
+// Mobile reports whether the trace moves node i at all.
+func (m *traceModel) Mobile(i int) bool {
+	wps := m.paths[i]
+	if len(wps) == 0 {
+		return false
+	}
+	first := phy.Position{X: wps[0].X, Y: wps[0].Y}
+	if len(wps) == 1 && first == m.hold[i] {
+		return false
+	}
+	return true
+}
+
+// At interpolates node i's position at t: held at the first waypoint
+// before it, at the last after it, piecewise-linear between.
+func (m *traceModel) At(i int, t sim.Time) phy.Position {
+	wps := m.paths[i]
+	if len(wps) == 0 {
+		return m.hold[i]
+	}
+	ts := t.Seconds()
+	k := sort.Search(len(wps), func(j int) bool { return wps[j].AtSec > ts })
+	// wps[k-1].AtSec <= ts < wps[k].AtSec
+	if k == 0 {
+		return phy.Position{X: wps[0].X, Y: wps[0].Y}
+	}
+	if k == len(wps) {
+		return phy.Position{X: wps[k-1].X, Y: wps[k-1].Y}
+	}
+	a, b := wps[k-1], wps[k]
+	frac := (ts - a.AtSec) / (b.AtSec - a.AtSec)
+	return phy.Position{X: a.X + frac*(b.X-a.X), Y: a.Y + frac*(b.Y-a.Y)}
+}

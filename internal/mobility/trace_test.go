@@ -1,0 +1,161 @@
+package mobility
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+const sampleTrace = `{
+  "nodes": [
+    {"id": 2, "waypoints": [
+      {"at_sec": 0, "x": 0, "y": 0},
+      {"at_sec": 10, "x": 100, "y": 0},
+      {"at_sec": 20, "x": 100, "y": 50}
+    ]},
+    {"id": 1, "waypoints": [{"at_sec": 5, "x": 7, "y": 7}]}
+  ]
+}`
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	tr, err := ParseTrace([]byte(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ParseTrace(out)
+	if err != nil {
+		t.Fatalf("re-parse of marshalled trace: %v", err)
+	}
+	if len(tr2.Nodes) != 2 || len(tr2.Nodes[0].Waypoints) != 3 {
+		t.Fatalf("round trip mangled the trace: %+v", tr2)
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestParseTraceRejects pins strict parsing: unknown fields, structural
+// violations, and non-finite numbers all fail loudly.
+func TestParseTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown top-level field": `{"nodes": [], "speed": 3}`,
+		"unknown node field":      `{"nodes": [{"id": 1, "waypoints": [{"at_sec":0,"x":0,"y":0}], "color": "red"}]}`,
+		"unknown waypoint field":  `{"nodes": [{"id": 1, "waypoints": [{"at_sec":0,"x":0,"y":0,"z":5}]}]}`,
+		"negative id":             `{"nodes": [{"id": -1, "waypoints": [{"at_sec":0,"x":0,"y":0}]}]}`,
+		"duplicate id":            `{"nodes": [{"id": 1, "waypoints": [{"at_sec":0,"x":0,"y":0}]},{"id": 1, "waypoints": [{"at_sec":0,"x":0,"y":0}]}]}`,
+		"no waypoints":            `{"nodes": [{"id": 1, "waypoints": []}]}`,
+		"negative time":           `{"nodes": [{"id": 1, "waypoints": [{"at_sec":-1,"x":0,"y":0}]}]}`,
+		"non-ascending times":     `{"nodes": [{"id": 1, "waypoints": [{"at_sec":5,"x":0,"y":0},{"at_sec":5,"x":1,"y":0}]}]}`,
+		"trailing garbage":        `{"nodes": []} {"nodes": []}`,
+		"not json":                `waypoints!`,
+	}
+	for name, body := range cases {
+		if _, err := ParseTrace([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+// TestTraceModelInterpolation pins hold-before/hold-after and the
+// piecewise-linear midpoint.
+func TestTraceModelInterpolation(t *testing.T) {
+	tr, err := ParseTrace([]byte(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("trace", Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []pkt.NodeID{0, 1, 2}
+	start := []phy.Position{{X: -1}, {X: 7, Y: 7}, {X: 500, Y: 500}}
+	if err := m.Init(ids, start, Bounds{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mobile(0) {
+		t.Fatal("untraced node must be immobile")
+	}
+	if m.Mobile(1) {
+		t.Fatal("single-waypoint node already at its waypoint must be immobile")
+	}
+	if !m.Mobile(2) {
+		t.Fatal("traced node must be mobile")
+	}
+	if p := m.At(0, sim.FromSeconds(50)); p != start[0] {
+		t.Fatalf("untraced node moved to %v", p)
+	}
+	cases := []struct {
+		atSec float64
+		want  phy.Position
+	}{
+		{0, phy.Position{}},               // first waypoint
+		{5, phy.Position{X: 50}},          // mid first leg
+		{10, phy.Position{X: 100}},        // second waypoint
+		{15, phy.Position{X: 100, Y: 25}}, // mid second leg
+		{99, phy.Position{X: 100, Y: 50}}, // held at last
+	}
+	for _, c := range cases {
+		if p := m.At(2, sim.FromSeconds(c.atSec)); p != c.want {
+			t.Fatalf("At(2, %gs) = %v, want %v", c.atSec, p, c.want)
+		}
+	}
+}
+
+// TestTraceModelUnknownNode: tracing a node absent from the topology is
+// an error, not a silent no-op.
+func TestTraceModelUnknownNode(t *testing.T) {
+	tr, err := ParseTrace([]byte(`{"nodes": [{"id": 40, "waypoints": [{"at_sec":0,"x":0,"y":0}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New("trace", Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init([]pkt.NodeID{0, 1}, []phy.Position{{}, {X: 1}}, Bounds{}, 0); err == nil {
+		t.Fatal("trace naming an unknown node must fail Init")
+	}
+}
+
+// FuzzParseMobilityTrace: the parser must never panic, and anything it
+// accepts must survive a marshal/re-parse round trip (Validate is part
+// of ParseTrace, so acceptance implies structural soundness).
+func FuzzParseMobilityTrace(f *testing.F) {
+	f.Add([]byte(sampleTrace))
+	f.Add([]byte(`{"nodes": []}`))
+	f.Add([]byte(`{"nodes": [{"id": 0, "waypoints": [{"at_sec": 0, "x": -1e300, "y": 1e300}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("accepted trace failed to marshal: %v", err)
+		}
+		if _, err := ParseTrace(out); err != nil {
+			t.Fatalf("accepted trace failed to re-parse: %v\n%s", err, out)
+		}
+	})
+}

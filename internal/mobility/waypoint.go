@@ -1,0 +1,135 @@
+// The random-waypoint model: each node independently repeats
+// pause → pick a uniform destination in the bounds and a uniform speed →
+// travel there in a straight line. The classic mobile-mesh evaluation
+// regime, with the standard fix of bounding the speed away from zero
+// (the harmonic-mean pathology that otherwise freezes nodes as the run
+// progresses).
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ezflow/internal/phy"
+	"ezflow/internal/pkt"
+	"ezflow/internal/sim"
+)
+
+func init() {
+	Register(Info{
+		Name:    "waypoint",
+		Summary: "random waypoint: pause, pick a uniform destination and speed, travel (per-node RNG)",
+		New:     newWaypoint,
+	})
+}
+
+// waypoint defaults (see Options).
+const (
+	defaultSpeedMps = 1.5
+	defaultPauseSec = 5.0
+	// minLegAdvance guards degenerate geometry (zero-area bounds with
+	// zero pause): every leg advances the clock by at least this much so
+	// the At cursor loop always terminates.
+	minLegAdvance = 100 * sim.Millisecond
+)
+
+// wpNode is one node's cursor through its leg sequence: paused at `from`
+// until depart, then traveling to `to` until arrive.
+type wpNode struct {
+	rng      *rand.Rand
+	from, to phy.Position
+	depart   sim.Time
+	arrive   sim.Time
+}
+
+type waypointModel struct {
+	speedMin, speedMax float64
+	pause              sim.Time
+	bounds             Bounds
+	nodes              []wpNode
+}
+
+// newWaypoint validates the options and fills defaults.
+func newWaypoint(opts Options) (Model, error) {
+	w := &waypointModel{}
+	w.speedMax = opts.SpeedMps
+	if w.speedMax == 0 {
+		w.speedMax = defaultSpeedMps
+	}
+	w.speedMin = opts.SpeedMinMps
+	if w.speedMin == 0 {
+		w.speedMin = w.speedMax / 4
+	}
+	if w.speedMax <= 0 || w.speedMin <= 0 || w.speedMin > w.speedMax {
+		return nil, fmt.Errorf("mobility: waypoint needs 0 < min speed <= max speed, got [%g, %g] m/s",
+			w.speedMin, w.speedMax)
+	}
+	pause := opts.PauseSec
+	if pause == 0 {
+		pause = defaultPauseSec
+	}
+	if pause < 0 {
+		return nil, fmt.Errorf("mobility: waypoint pause must be >= 0, got %g s", pause)
+	}
+	w.pause = sim.FromSeconds(pause)
+	return w, nil
+}
+
+func (w *waypointModel) Name() string { return "waypoint" }
+
+// Init seeds one RNG per node from the run seed and the node id via a
+// splitmix64 finalizer, so every node's trajectory is independent of
+// every other's and of the engine RNG stream.
+func (w *waypointModel) Init(ids []pkt.NodeID, start []phy.Position, b Bounds, seed int64) error {
+	if !b.Valid() {
+		return fmt.Errorf("mobility: invalid bounds %+v", b)
+	}
+	w.bounds = b
+	w.nodes = make([]wpNode, len(ids))
+	for i := range ids {
+		x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(ids[i])*0xBF58476D1CE4E5B9 + 1
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		w.nodes[i] = wpNode{
+			rng:  rand.New(rand.NewSource(int64(x))),
+			from: start[i],
+			to:   start[i],
+		}
+	}
+	return nil
+}
+
+// Mobile: every node moves under random waypoint (the engine's Fixed
+// list is the way to pin individual nodes such as the gateway).
+func (w *waypointModel) Mobile(int) bool { return true }
+
+// At advances node i's leg cursor to time t and interpolates. Monotone
+// per-node times make this amortized O(1) per tick.
+func (w *waypointModel) At(i int, t sim.Time) phy.Position {
+	n := &w.nodes[i]
+	for t >= n.arrive {
+		prev := n.arrive
+		n.from = n.to
+		n.depart = prev + w.pause
+		n.to = phy.Position{
+			X: w.bounds.MinX + n.rng.Float64()*(w.bounds.MaxX-w.bounds.MinX),
+			Y: w.bounds.MinY + n.rng.Float64()*(w.bounds.MaxY-w.bounds.MinY),
+		}
+		speed := w.speedMin + n.rng.Float64()*(w.speedMax-w.speedMin)
+		n.arrive = n.depart + sim.FromSeconds(n.from.Dist(n.to)/speed)
+		if n.arrive < prev+minLegAdvance {
+			n.arrive = prev + minLegAdvance
+		}
+	}
+	if t <= n.depart {
+		return n.from
+	}
+	frac := float64(t-n.depart) / float64(n.arrive-n.depart)
+	return phy.Position{
+		X: n.from.X + frac*(n.to.X-n.from.X),
+		Y: n.from.Y + frac*(n.to.Y-n.from.Y),
+	}
+}

@@ -90,6 +90,47 @@ func (g *SpatialGrid) axisCell(d float64) int {
 	return int(d / g.cell)
 }
 
+// Move re-buckets index i from its cell at `from` to its cell at `to`,
+// keeping cell contents ascending. Clamping makes the grid closed under
+// movement: a point that drifts outside the built extent lands in the
+// nearest edge cell, and because cellIndex is monotone and 1-Lipschitz
+// in cell units per axis, any probe within the query radius of the true
+// position still finds it in its 3×3 neighborhood. Cells only get less
+// selective (never incorrect) as points leave the original extent.
+func (g *SpatialGrid) Move(i int32, from, to Position) {
+	a, b := g.cellIndex(from), g.cellIndex(to)
+	if a == b {
+		return
+	}
+	ca := g.cells[a]
+	k := lowerBound32(ca, i)
+	if k >= len(ca) || ca[k] != i {
+		panic("phy: SpatialGrid.Move of unbucketed index")
+	}
+	copy(ca[k:], ca[k+1:])
+	g.cells[a] = ca[:len(ca)-1]
+	cb := append(g.cells[b], 0)
+	k = lowerBound32(cb[:len(cb)-1], i)
+	copy(cb[k+1:], cb[k:])
+	cb[k] = i
+	g.cells[b] = cb
+}
+
+// lowerBound32 returns the first index in the ascending slice s whose
+// value is >= v (len(s) when none is).
+func lowerBound32(s []int32, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Near appends to dst the indices of every stored position in the 3×3
 // cell neighborhood of p — a superset of the positions within the query
 // radius of p — and returns the extended slice. dst is reused across

@@ -3,13 +3,15 @@
 // with per-pair math.Hypot/math.Pow and map lookups into an O(degree)
 // walk over flat, cache-resident link records.
 //
-// Geometry is static for the lifetime of a run (stations never move), so
-// distances, received powers, and the in-CS-range/in-Tx-range predicates
-// are computed once, when the first transmission freezes the topology.
-// The only mutable per-link state — erasure probability and severed
-// flags, which the dynamics subsystem toggles mid-run — is folded into
-// the same records and patched in place by SetLinkLoss/SetLinkDown, so
-// the hot path never consults the loss/down maps.
+// Geometry changes only through explicit position updates (phy.MoveNode,
+// driven by the mobility subsystem), so distances, received powers, and
+// the in-CS-range/in-Tx-range predicates are computed once, when the
+// first transmission freezes the topology, and thereafter patched
+// incrementally per move (move.go) instead of rebuilt. The other mutable
+// per-link state — erasure probability and severed flags, which the
+// dynamics subsystem toggles mid-run — is folded into the same records
+// and patched in place by SetLinkLoss/SetLinkDown, so the hot path never
+// consults the loss/down maps.
 //
 // Correctness bound: a neighbor list must contain every station one
 // transmission can observably affect. Carrier sense and receiver locking
@@ -96,6 +98,7 @@ func (c *Channel) buildIndex() {
 	c.sensed, c.busyTx, c.rx = sensed, busy, rx
 
 	g := NewSpatialGrid(pos, r)
+	c.grid = g
 	cand := c.scratch
 	// All per-station lists are appended into three shared arenas and
 	// sub-sliced afterwards (the arenas may reallocate while growing):
@@ -144,6 +147,7 @@ func (c *Channel) buildIndex() {
 		st.nbrs = links[lo[0]:hi[0]:hi[0]]
 		st.nbrSlots = keys[lo[1]:hi[1]:hi[1]]
 		st.csNbrs = cs[lo[2]:hi[2]:hi[2]]
+		st.owned = false
 	}
 	c.scratch = cand
 	c.indexed = true

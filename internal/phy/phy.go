@@ -131,6 +131,12 @@ type Station struct {
 	nbrs     []link
 	nbrSlots []int32
 	csNbrs   []int32
+	// owned marks the three lists as station-private storage rather than
+	// arena sub-slices: MoveNode detaches a station (copy-on-write) the
+	// first time its list has to grow or shrink, so incremental resizes
+	// can never bleed into the neighbor packed after it in the arena. A
+	// full rebuild re-points everything at the arenas and clears it.
+	owned bool
 }
 
 // reception is the state of a receiver locked onto one frame. ns-2
@@ -162,6 +168,11 @@ type Channel struct {
 	// the next transmission rebuilds (see index.go).
 	indexed bool
 	scratch []int32 // candidate buffer reused across index builds
+	// grid is the spatial hash the last buildIndex bucketed the stations
+	// into, kept alive so MoveNode can re-bucket a moving station without
+	// rebuilding; moveBuf is MoveNode's reusable new-list staging buffer.
+	grid    *SpatialGrid
+	moveBuf []link
 	// Arenas backing every station's neighbor lists (sub-sliced by
 	// buildIndex); pointer-free, so invisible to the garbage collector.
 	linkArena []link

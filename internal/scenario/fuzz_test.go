@@ -15,12 +15,14 @@ func FuzzParse(f *testing.F) {
 	for _, p := range []string{
 		filepath.Join("..", "..", "examples", "linkfailure", "linkfailure.json"),
 		filepath.Join("..", "..", "examples", "routing", "randomdisk.json"),
+		filepath.Join("..", "..", "examples", "mobility", "waypoint.json"),
 	} {
 		if b, err := os.ReadFile(p); err == nil {
 			f.Add(b)
 		}
 	}
 	f.Add([]byte(`{"topology":{"kind":"chain","n":4}}`))
+	f.Add([]byte(`{"topology":{"kind":"grid"},"mobility":{"model":"waypoint","speed_mps":10},"workload":{"clients":5,"on_mean_sec":2,"off_mean_sec":3}}`))
 	f.Add([]byte(`{"topology":{"kind":"grid"},"mode":"ezflow","duration_sec":10}`))
 	f.Add([]byte(`{"topology":{"kind":"random","n":9},"flows":[{"src":0,"dst":5}]}`))
 	f.Add([]byte(`{`))

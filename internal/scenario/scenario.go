@@ -33,6 +33,7 @@ import (
 	"ezflow"
 	"ezflow/internal/ctl"
 	"ezflow/internal/dynamics"
+	"ezflow/internal/mobility"
 	"ezflow/internal/phy"
 	"ezflow/internal/pkt"
 	"ezflow/internal/routing"
@@ -74,9 +75,59 @@ type Spec struct {
 	// Flows lists the traffic sources; empty selects each topology's
 	// default flows at 2 Mb/s.
 	Flows []Flow `json:"flows,omitempty"`
+	// Mobility selects node movement from the internal/mobility registry;
+	// absent (or an off model) keeps the topology static, byte-identical
+	// to files written before the block existed.
+	Mobility *Mobility `json:"mobility,omitempty"`
+	// Workload expands a gateway-scale client flow population in addition
+	// to Flows; see ezflow.WorkloadSpec.
+	Workload *Workload `json:"workload,omitempty"`
 	// Dynamics is the perturbation timeline, in any order (events are
 	// scheduled by their at_sec).
 	Dynamics []Event `json:"dynamics,omitempty"`
+}
+
+// Mobility is the declarative form of a mobility configuration.
+type Mobility struct {
+	// Model: waypoint | trace, or an off spelling (off | static).
+	Model string `json:"model"`
+	// SpeedMps and SpeedMinMps bound waypoint leg speeds (defaults
+	// 1.5 m/s and a quarter of the maximum).
+	SpeedMps    float64 `json:"speed_mps,omitempty"`
+	SpeedMinMps float64 `json:"speed_min_mps,omitempty"`
+	// PauseSec is the waypoint dwell time (default 5 s).
+	PauseSec float64 `json:"pause_sec,omitempty"`
+	// TickSec is the position-update interval (default 0.5 s).
+	TickSec float64 `json:"tick_sec,omitempty"`
+	// Fixed pins nodes in place; absent pins the gateway (node 0), an
+	// empty list pins nothing.
+	Fixed []int `json:"fixed,omitempty"`
+	// TraceFile names the JSON waypoint trace of the trace model,
+	// resolved relative to the working directory.
+	TraceFile string `json:"trace_file,omitempty"`
+	// Seed overrides the run seed for trajectory generation.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Workload is the declarative form of ezflow.WorkloadSpec.
+type Workload struct {
+	// Kind: downlink (default) | uplink.
+	Kind string `json:"kind,omitempty"`
+	// Clients is the population size (required, > 0).
+	Clients int `json:"clients"`
+	// RateBps is the per-client rate while active (default 200 kb/s).
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// Bytes is the packet size (default 1028).
+	Bytes int `json:"bytes,omitempty"`
+	// Gateway is the gateway node id (default 0).
+	Gateway int `json:"gateway,omitempty"`
+	// OnMeanSec/OffMeanSec select exponential on/off bursty clients.
+	OnMeanSec  float64 `json:"on_mean_sec,omitempty"`
+	OffMeanSec float64 `json:"off_mean_sec,omitempty"`
+	// ArrivalPerSec/HoldMeanSec select a Poisson arrival/departure
+	// population.
+	ArrivalPerSec float64 `json:"arrival_per_sec,omitempty"`
+	HoldMeanSec   float64 `json:"hold_mean_sec,omitempty"`
 }
 
 // Topology selects one of the repository's network builders.
@@ -254,6 +305,35 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: flow %d: negative rate_bps", f.ID)
 		}
 	}
+	if m := s.Mobility; m != nil && !mobility.IsOff(m.Model) {
+		if _, ok := mobility.ByName(m.Model); !ok {
+			return fmt.Errorf("scenario: unknown mobility model %q (registered: %s)", m.Model, mobility.NamesList())
+		}
+		if m.SpeedMps < 0 || m.SpeedMinMps < 0 || m.PauseSec < 0 || m.TickSec < 0 {
+			return fmt.Errorf("scenario: mobility speeds, pause and tick must be >= 0")
+		}
+		if m.SpeedMps > 0 && m.SpeedMinMps > m.SpeedMps {
+			return fmt.Errorf("scenario: mobility speed_min_mps %g above speed_mps %g", m.SpeedMinMps, m.SpeedMps)
+		}
+		for _, id := range m.Fixed {
+			if id < 0 {
+				return fmt.Errorf("scenario: mobility fixed id %d is negative", id)
+			}
+		}
+		if (m.Model == "trace") != (m.TraceFile != "") {
+			return fmt.Errorf("scenario: trace_file is required by the trace model and meaningless elsewhere")
+		}
+	} else if m != nil && (m.TraceFile != "" || m.SpeedMps != 0) {
+		return fmt.Errorf("scenario: mobility model %q is off but sets model parameters", m.Model)
+	}
+	if w := s.Workload; w != nil {
+		if w.Gateway < 0 {
+			return fmt.Errorf("scenario: workload gateway %d is negative", w.Gateway)
+		}
+		if err := w.spec().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	dur := s.DurationSec
 	if dur <= 0 {
 		dur = ezflow.DefaultDuration.Seconds()
@@ -297,7 +377,70 @@ func (s *Spec) Script() *dynamics.Script {
 	return sc
 }
 
+// spec converts the declarative workload block into the ezflow form.
+func (w *Workload) spec() *ezflow.WorkloadSpec {
+	return &ezflow.WorkloadSpec{
+		Kind:          w.Kind,
+		Clients:       w.Clients,
+		RateBps:       w.RateBps,
+		Bytes:         w.Bytes,
+		Gateway:       ezflow.NodeID(w.Gateway),
+		OnMeanSec:     w.OnMeanSec,
+		OffMeanSec:    w.OffMeanSec,
+		ArrivalPerSec: w.ArrivalPerSec,
+		HoldMeanSec:   w.HoldMeanSec,
+	}
+}
+
+// WorkloadSpec resolves the spec's workload block, nil when absent.
+func (s *Spec) WorkloadSpec() *ezflow.WorkloadSpec {
+	if s.Workload == nil {
+		return nil
+	}
+	return s.Workload.spec()
+}
+
+// MobilityConfig resolves the spec's mobility block into a runnable
+// configuration, loading the trace file when the trace model is
+// selected. It returns nil for a static spec. Build and BuildWith call
+// it whenever the caller's config leaves Mobility nil, mirroring the
+// dynamics timeline.
+func (s *Spec) MobilityConfig() (*mobility.Config, error) {
+	m := s.Mobility
+	if m == nil || mobility.IsOff(m.Model) {
+		return nil, nil
+	}
+	cfg := &mobility.Config{
+		Model: m.Model,
+		Opts: mobility.Options{
+			SpeedMps:    m.SpeedMps,
+			SpeedMinMps: m.SpeedMinMps,
+			PauseSec:    m.PauseSec,
+		},
+		TickSec: m.TickSec,
+		Seed:    m.Seed,
+	}
+	if m.Fixed != nil {
+		cfg.Fixed = make([]pkt.NodeID, len(m.Fixed))
+		for i, id := range m.Fixed {
+			cfg.Fixed[i] = pkt.NodeID(id)
+		}
+	}
+	if m.TraceFile != "" {
+		tr, err := mobility.LoadTrace(m.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: mobility trace: %w", err)
+		}
+		cfg.Opts.Trace = tr
+	}
+	return cfg, nil
+}
+
 // Config resolves the spec's shared run parameters into an ezflow.Config.
+// The mobility and workload blocks are NOT resolved here — Build and
+// BuildWith attach them (trace-file loading can fail, and the campaign
+// layer assembles its own config) — so callers composing a config by
+// hand should go through BuildWith.
 func (s *Spec) Config() ezflow.Config {
 	cfg := ezflow.DefaultConfig()
 	if s.Seed != 0 {
@@ -356,6 +499,16 @@ func (s *Spec) BuildWith(cfg ezflow.Config, flows []ezflow.FlowSpec) (sc *ezflow
 	}()
 	if cfg.Dynamics == nil {
 		cfg.Dynamics = s.Script()
+	}
+	if cfg.Mobility == nil {
+		mc, merr := s.MobilityConfig()
+		if merr != nil {
+			return nil, merr
+		}
+		cfg.Mobility = mc
+	}
+	if cfg.Workload == nil {
+		cfg.Workload = s.WorkloadSpec()
 	}
 	t := s.Topology
 	switch t.Kind {

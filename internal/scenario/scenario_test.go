@@ -1,7 +1,10 @@
 package scenario_test
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -125,5 +128,111 @@ func TestBuildRejectsUnknownDynamicsNode(t *testing.T) {
 	}
 	if _, err := spec.Build(); err == nil || !strings.Contains(err.Error(), "unknown node") {
 		t.Errorf("Build error = %v, want unknown-node", err)
+	}
+}
+
+const mobileSpec = `{
+  "name": "grid-waypoint-downlink",
+  "topology": {"kind": "grid", "width": 3, "height": 3},
+  "mode": "ezflow",
+  "seed": 5,
+  "duration_sec": 20,
+  "mobility": {"model": "waypoint", "speed_mps": 12, "pause_sec": 1, "tick_sec": 0.25},
+  "workload": {"kind": "downlink", "clients": 4, "rate_bps": 1e5, "on_mean_sec": 3, "off_mean_sec": 3}
+}`
+
+// TestParseAndBuildMobileWorkload drives the new blocks end to end: the
+// spec parses, the engine attaches with the file's parameters, the
+// population is expanded, and the run moves nodes.
+func TestParseAndBuildMobileWorkload(t *testing.T) {
+	spec, err := scenario.Parse([]byte(mobileSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mobility.SpeedMps != 12 || spec.Workload.Clients != 4 {
+		t.Fatalf("parsed blocks wrong: %+v %+v", spec.Mobility, spec.Workload)
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mob == nil {
+		t.Fatal("mobility engine not attached")
+	}
+	if len(sc.Sources) != 6 { // grid's flows 1-2 + 4 clients
+		t.Fatalf("sources = %d, want 6", len(sc.Sources))
+	}
+	res := sc.Run()
+	if res.MobilityStats == nil || res.MobilityStats.Moves == 0 {
+		t.Fatalf("no movement: %+v", res.MobilityStats)
+	}
+}
+
+// TestTraceFileRoundTrip writes a trace file, references it from a spec,
+// and checks the trace-driven model reproduces it through the full
+// scenario stack.
+func TestTraceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "walk.json")
+	trace := `{"nodes": [{"id": 2, "waypoints": [
+	  {"at_sec": 0, "x": 200, "y": 0},
+	  {"at_sec": 10, "x": 200, "y": 180}
+	]}]}`
+	if err := os.WriteFile(tracePath, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `{
+	  "topology": {"kind": "grid", "width": 3, "height": 3},
+	  "duration_sec": 12,
+	  "mobility": {"model": "trace", "trace_file": ` + strconv.Quote(tracePath) + `}
+	}`
+	spec, err := scenario.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Run()
+	got := sc.Mesh.Ch.Position(2)
+	if got.X != 200 || got.Y != 180 {
+		t.Fatalf("traced node ended at %v, want (200, 180)", got)
+	}
+	// A missing trace file is a Build error, not a panic.
+	bad := `{"topology": {"kind": "grid"},
+	  "mobility": {"model": "trace", "trace_file": "/nonexistent/trace.json"}}`
+	spec, err = scenario.Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(); err == nil {
+		t.Fatal("missing trace file must fail Build")
+	}
+}
+
+// TestParseErrorsMobility pins strict rejection of malformed mobility
+// and workload blocks.
+func TestParseErrorsMobility(t *testing.T) {
+	cases := map[string]string{
+		"unknown mobility field": `{"topology": {"kind": "grid"}, "mobility": {"model": "waypoint", "teleport": true}}`,
+		"unknown workload field": `{"topology": {"kind": "grid"}, "workload": {"clients": 3, "priority": 7}}`,
+		"unknown mobility model": `{"topology": {"kind": "grid"}, "mobility": {"model": "brownian"}}`,
+		"negative speed":         `{"topology": {"kind": "grid"}, "mobility": {"model": "waypoint", "speed_mps": -3}}`,
+		"min above max":          `{"topology": {"kind": "grid"}, "mobility": {"model": "waypoint", "speed_mps": 1, "speed_min_mps": 2}}`,
+		"trace without file":     `{"topology": {"kind": "grid"}, "mobility": {"model": "trace"}}`,
+		"file without trace":     `{"topology": {"kind": "grid"}, "mobility": {"model": "waypoint", "trace_file": "x.json"}}`,
+		"off with params":        `{"topology": {"kind": "grid"}, "mobility": {"model": "off", "speed_mps": 3}}`,
+		"negative fixed id":      `{"topology": {"kind": "grid"}, "mobility": {"model": "waypoint", "fixed": [-1]}}`,
+		"zero clients":           `{"topology": {"kind": "grid"}, "workload": {"clients": 0}}`,
+		"bad workload kind":      `{"topology": {"kind": "grid"}, "workload": {"clients": 3, "kind": "sideways"}}`,
+		"half an on/off pair":    `{"topology": {"kind": "grid"}, "workload": {"clients": 3, "on_mean_sec": 2}}`,
+		"both activity shapes":   `{"topology": {"kind": "grid"}, "workload": {"clients": 3, "on_mean_sec": 2, "off_mean_sec": 2, "arrival_per_sec": 1, "hold_mean_sec": 1}}`,
+		"negative gateway":       `{"topology": {"kind": "grid"}, "workload": {"clients": 3, "gateway": -2}}`,
+	}
+	for name, src := range cases {
+		if _, err := scenario.Parse([]byte(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
 	}
 }
